@@ -1,0 +1,198 @@
+use std::collections::BTreeMap;
+
+use mood_geo::Grid;
+use mood_models::Heatmap;
+use mood_trace::{Dataset, Trace, UserId};
+
+use crate::{Attack, Prediction, TrainedAttack};
+
+/// AP-Attack (Maouche et al. 2017, the paper's \[22\]): heatmap profiles
+/// over a uniform grid, compared with the Topsoe divergence.
+///
+/// The paper calls AP-Attack "the most powerful attack currently known"
+/// and uses it alone in the single-attack experiment (Fig. 6). Its one
+/// parameter is the grid cell size, 800 m by default (§4.1.1).
+///
+/// # Examples
+///
+/// ```
+/// use mood_attacks::{ApAttack, Attack, TrainedAttack};
+/// use mood_synth::presets;
+/// use mood_trace::TimeDelta;
+///
+/// let ds = presets::privamov_like().scaled(0.15).generate();
+/// let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
+/// let trained = ApAttack::paper_default().train(&train);
+/// let victim = test.iter().next().unwrap();
+/// let prediction = trained.predict(victim);
+/// assert!(!prediction.scores.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApAttack {
+    cell_size_m: f64,
+}
+
+impl ApAttack {
+    /// Creates an AP-Attack with the given heatmap cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cell_size_m` is not strictly positive and finite.
+    pub fn new(cell_size_m: f64) -> Self {
+        assert!(
+            cell_size_m.is_finite() && cell_size_m > 0.0,
+            "cell size must be positive"
+        );
+        Self { cell_size_m }
+    }
+
+    /// The paper's configuration: 800 m cells.
+    pub fn paper_default() -> Self {
+        Self::new(800.0)
+    }
+
+    /// Configured cell size in meters.
+    pub fn cell_size_m(&self) -> f64 {
+        self.cell_size_m
+    }
+}
+
+impl Attack for ApAttack {
+    fn name(&self) -> &'static str {
+        "AP-Attack"
+    }
+
+    fn train(&self, background: &Dataset) -> Box<dyn TrainedAttack> {
+        assert!(!background.is_empty(), "background knowledge is empty");
+        let bbox = background
+            .bounding_box()
+            .expect("non-empty dataset has a bounding box")
+            // Obfuscated traces can wander outside the background extent
+            // (TRL pushes records up to 1 km out); widen the grid so they
+            // land in real cells instead of piling up on the border.
+            .expanded(2_000.0)
+            .expect("non-negative margin");
+        let grid = Grid::new(bbox, self.cell_size_m).expect("validated cell size");
+        let profiles: BTreeMap<UserId, Heatmap> = background
+            .iter()
+            .map(|t| (t.user(), Heatmap::from_trace(&grid, t)))
+            .collect();
+        Box::new(TrainedApAttack { grid, profiles })
+    }
+}
+
+struct TrainedApAttack {
+    grid: Grid,
+    profiles: BTreeMap<UserId, Heatmap>,
+}
+
+impl TrainedAttack for TrainedApAttack {
+    fn name(&self) -> &'static str {
+        "AP-Attack"
+    }
+
+    fn predict(&self, trace: &Trace) -> Prediction {
+        let anon = Heatmap::from_trace(&self.grid, trace);
+        if anon.is_empty() {
+            return Prediction::none();
+        }
+        let scores: Vec<(UserId, f64)> = self
+            .profiles
+            .iter()
+            .map(|(&user, profile)| {
+                let d = anon.topsoe(profile).unwrap_or(f64::INFINITY);
+                (user, d)
+            })
+            .collect();
+        Prediction::from_scores(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_geo::GeoPoint;
+    use mood_trace::{Record, TimeDelta, Timestamp};
+
+    fn rec(lat: f64, lng: f64, t: i64) -> Record {
+        Record::new(GeoPoint::new(lat, lng).unwrap(), Timestamp::from_unix(t))
+    }
+
+    /// Background with two users in clearly different neighbourhoods.
+    fn two_user_background() -> Dataset {
+        let a: Vec<Record> = (0..50).map(|i| rec(46.16, 6.06, i * 600)).collect();
+        let b: Vec<Record> = (0..50).map(|i| rec(46.25, 6.20, i * 600)).collect();
+        Dataset::from_traces([
+            Trace::new(UserId::new(1), a).unwrap(),
+            Trace::new(UserId::new(2), b).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_user_by_neighbourhood() {
+        let trained = ApAttack::paper_default().train(&two_user_background());
+        let anon = Trace::new(
+            UserId::new(99),
+            (0..20).map(|i| rec(46.161, 6.061, 100_000 + i * 600)).collect(),
+        )
+        .unwrap();
+        let p = trained.predict(&anon);
+        assert_eq!(p.predicted, Some(UserId::new(1)));
+        // margin should be decisive (disjoint neighbourhoods)
+        assert!(p.margin().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn re_identifies_helper_checks_ground_truth() {
+        let trained = ApAttack::paper_default().train(&two_user_background());
+        let anon = Trace::new(
+            UserId::new(2),
+            (0..20).map(|i| rec(46.251, 6.201, 100_000 + i * 600)).collect(),
+        )
+        .unwrap();
+        assert!(trained.re_identifies(&anon, UserId::new(2)));
+        assert!(!trained.re_identifies(&anon, UserId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "background knowledge is empty")]
+    fn train_rejects_empty_background() {
+        ApAttack::paper_default().train(&Dataset::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn rejects_bad_cell_size() {
+        ApAttack::new(0.0);
+    }
+
+    #[test]
+    fn scores_cover_every_candidate() {
+        let trained = ApAttack::paper_default().train(&two_user_background());
+        let anon = Trace::new(
+            UserId::new(99),
+            vec![rec(46.2, 6.1, 0), rec(46.2, 6.1, 600)],
+        )
+        .unwrap();
+        assert_eq!(trained.predict(&anon).scores.len(), 2);
+    }
+
+    #[test]
+    fn works_on_synthetic_residents() {
+        use mood_synth::presets;
+        let ds = presets::privamov_like().scaled(0.2).generate();
+        let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
+        let trained = ApAttack::paper_default().train(&train);
+        // distinct users (low ids) should mostly be re-identified
+        let mut hits = 0;
+        let mut total = 0;
+        for trace in test.iter().take(5) {
+            total += 1;
+            if trained.re_identifies(trace, trace.user()) {
+                hits += 1;
+            }
+        }
+        assert!(hits * 2 >= total, "AP re-identified only {hits}/{total}");
+    }
+}

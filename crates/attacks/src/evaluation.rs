@@ -1,0 +1,258 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mood_trace::{Dataset, Trace, UserId};
+
+use crate::{Attack, TrainedAttack};
+
+/// A set of trained attacks — the virtual adversary MooD defends against
+/// (paper §4.4 uses m = 3 attacks at once).
+///
+/// # Examples
+///
+/// ```
+/// use mood_attacks::{ApAttack, PitAttack, PoiAttack, Attack, AttackSuite};
+/// use mood_synth::presets;
+/// use mood_trace::TimeDelta;
+///
+/// let ds = presets::privamov_like().scaled(0.15).generate();
+/// let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
+/// let suite = AttackSuite::train(
+///     &[
+///         &PoiAttack::paper_default() as &dyn Attack,
+///         &PitAttack::paper_default(),
+///         &ApAttack::paper_default(),
+///     ],
+///     &train,
+/// );
+/// assert_eq!(suite.len(), 3);
+/// let victim = test.iter().next().unwrap();
+/// let _ = suite.first_reidentifying(victim, victim.user());
+/// ```
+pub struct AttackSuite {
+    attacks: Vec<Box<dyn TrainedAttack>>,
+}
+
+impl AttackSuite {
+    /// Trains every attack on the same background knowledge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `attacks` is empty or `background` is empty.
+    pub fn train(attacks: &[&dyn Attack], background: &Dataset) -> Self {
+        assert!(!attacks.is_empty(), "attack suite needs at least one attack");
+        Self {
+            attacks: attacks.iter().map(|a| a.train(background)).collect(),
+        }
+    }
+
+    /// Wraps already-trained attacks.
+    pub fn from_trained(attacks: Vec<Box<dyn TrainedAttack>>) -> Self {
+        assert!(!attacks.is_empty(), "attack suite needs at least one attack");
+        Self { attacks }
+    }
+
+    /// The trained attacks.
+    pub fn attacks(&self) -> &[Box<dyn TrainedAttack>] {
+        &self.attacks
+    }
+
+    /// Number of attacks in the suite.
+    pub fn len(&self) -> usize {
+        self.attacks.len()
+    }
+
+    /// `false`: suites are never empty (checked at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The name of the first attack that re-identifies `trace` as
+    /// `true_user`, or `None` when every attack fails — i.e. the trace is
+    /// protected in the sense of the paper's Eq. 5/6.
+    ///
+    /// Attacks run in order and evaluation short-circuits on the first
+    /// success (matching Algorithm 1's `while Ak(T') != U` loop).
+    pub fn first_reidentifying(&self, trace: &Trace, true_user: UserId) -> Option<&'static str> {
+        self.attacks
+            .iter()
+            .find(|a| a.re_identifies(trace, true_user))
+            .map(|a| a.name())
+    }
+
+    /// `true` when no attack in the suite links `trace` to `true_user`.
+    pub fn protects(&self, trace: &Trace, true_user: UserId) -> bool {
+        self.first_reidentifying(trace, true_user).is_none()
+    }
+
+    /// Evaluates a whole (possibly obfuscated) dataset: each trace is
+    /// attacked under its recorded user as ground truth.
+    pub fn evaluate(&self, dataset: &Dataset) -> DatasetEvaluation {
+        let mut per_attack: BTreeMap<String, usize> = BTreeMap::new();
+        for a in &self.attacks {
+            per_attack.insert(a.name().to_string(), 0);
+        }
+        let mut non_protected = Vec::new();
+        let mut lost_records = 0usize;
+        for trace in dataset.iter() {
+            let mut hit = false;
+            for a in &self.attacks {
+                if a.re_identifies(trace, trace.user()) {
+                    *per_attack.get_mut(a.name()).expect("pre-seeded") += 1;
+                    hit = true;
+                }
+            }
+            if hit {
+                non_protected.push(trace.user());
+                lost_records += trace.len();
+            }
+        }
+        DatasetEvaluation {
+            users_total: dataset.user_count(),
+            records_total: dataset.record_count(),
+            non_protected_users: non_protected,
+            lost_records,
+            re_identified_per_attack: per_attack,
+        }
+    }
+}
+
+/// Result of running an [`AttackSuite`] over a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetEvaluation {
+    /// Users in the evaluated dataset.
+    pub users_total: usize,
+    /// Records in the evaluated dataset.
+    pub records_total: usize,
+    /// Users re-identified by **at least one** attack (the paper's
+    /// non-protected users).
+    pub non_protected_users: Vec<UserId>,
+    /// Records belonging to non-protected users (`|D_NP|_r`, Eq. 7).
+    pub lost_records: usize,
+    /// Per-attack re-identification counts (an attack may re-identify a
+    /// user another attack misses).
+    pub re_identified_per_attack: BTreeMap<String, usize>,
+}
+
+impl DatasetEvaluation {
+    /// Number of non-protected users.
+    pub fn non_protected_count(&self) -> usize {
+        self.non_protected_users.len()
+    }
+
+    /// Share of non-protected users in `[0, 1]`.
+    pub fn non_protected_ratio(&self) -> f64 {
+        if self.users_total == 0 {
+            0.0
+        } else {
+            self.non_protected_users.len() as f64 / self.users_total as f64
+        }
+    }
+
+    /// Data-loss ratio (Eq. 7): records of non-protected users over total
+    /// records.
+    pub fn data_loss_ratio(&self) -> f64 {
+        if self.records_total == 0 {
+            0.0
+        } else {
+            self.lost_records as f64 / self.records_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ApAttack, PitAttack, PoiAttack};
+    use mood_geo::GeoPoint;
+    use mood_trace::{Record, TimeDelta, Timestamp};
+
+    fn rec(lat: f64, lng: f64, t: i64) -> Record {
+        Record::new(GeoPoint::new(lat, lng).unwrap(), Timestamp::from_unix(t))
+    }
+
+    fn dwell_trace(user: u64, lat: f64, lng: f64, t0: i64) -> Trace {
+        let records: Vec<Record> = (0..48).map(|i| rec(lat, lng, t0 + i * 600)).collect();
+        Trace::new(UserId::new(user), records).unwrap()
+    }
+
+    fn background() -> Dataset {
+        Dataset::from_traces([
+            dwell_trace(1, 46.16, 6.06, 0),
+            dwell_trace(2, 46.25, 6.20, 0),
+        ])
+        .unwrap()
+    }
+
+    fn full_suite(bg: &Dataset) -> AttackSuite {
+        AttackSuite::train(
+            &[
+                &PoiAttack::paper_default() as &dyn Attack,
+                &PitAttack::paper_default(),
+                &ApAttack::paper_default(),
+            ],
+            bg,
+        )
+    }
+
+    #[test]
+    fn suite_trains_all_attacks() {
+        let suite = full_suite(&background());
+        assert_eq!(suite.len(), 3);
+        let names: Vec<&str> = suite.attacks().iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["POI-Attack", "PIT-Attack", "AP-Attack"]);
+    }
+
+    #[test]
+    fn first_reidentifying_returns_attack_name() {
+        let suite = full_suite(&background());
+        let anon = dwell_trace(1, 46.1601, 6.0601, 1_000_000);
+        let name = suite.first_reidentifying(&anon, UserId::new(1));
+        assert!(name.is_some());
+        assert!(!suite.protects(&anon, UserId::new(1)));
+    }
+
+    #[test]
+    fn protects_when_trace_matches_other_user() {
+        let suite = full_suite(&background());
+        // user 1's trace placed at user 2's home: every attack points at 2
+        let anon = dwell_trace(1, 46.2501, 6.2001, 1_000_000);
+        assert!(suite.protects(&anon, UserId::new(1)));
+    }
+
+    #[test]
+    fn evaluate_counts_users_and_records() {
+        let suite = full_suite(&background());
+        let test = Dataset::from_traces([
+            dwell_trace(1, 46.1601, 6.0601, 1_000_000), // re-identified
+            dwell_trace(2, 46.1601, 6.0601, 1_000_000), // points at user 1 -> protected
+        ])
+        .unwrap();
+        let eval = suite.evaluate(&test);
+        assert_eq!(eval.users_total, 2);
+        assert_eq!(eval.non_protected_count(), 1);
+        assert_eq!(eval.non_protected_users, vec![UserId::new(1)]);
+        assert_eq!(eval.lost_records, 48);
+        assert!((eval.data_loss_ratio() - 0.5).abs() < 1e-12);
+        assert!((eval.non_protected_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attack")]
+    fn empty_suite_rejected() {
+        AttackSuite::train(&[], &background());
+    }
+
+    #[test]
+    fn multi_attack_union_is_at_least_single_attack() {
+        use mood_synth::presets;
+        let ds = presets::privamov_like().scaled(0.2).generate();
+        let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
+        let ap_only = AttackSuite::train(&[&ApAttack::paper_default() as &dyn Attack], &train);
+        let all = full_suite(&train);
+        let single = ap_only.evaluate(&test).non_protected_count();
+        let multi = all.evaluate(&test).non_protected_count();
+        assert!(multi >= single, "union {multi} < single {single}");
+    }
+}

@@ -1,0 +1,96 @@
+//! User re-identification attacks (paper §2.2 and §4.1.1).
+//!
+//! A re-identification attack works in two phases: a **training phase**
+//! building a mobility profile per known user from background knowledge
+//! `H`, and an **attack phase** matching an anonymous (possibly
+//! obfuscated) trace against the learned profiles:
+//!
+//! ```text
+//! A : (R² × R⁺)* → U,   T ↦ A(T, H) = u
+//! ```
+//!
+//! Three state-of-the-art attacks are implemented, matching the paper's
+//! §4.1.1 configuration:
+//!
+//! * [`PoiAttack`] (Primault et al. 2014) — profiles are POI sets;
+//!   similarity is geographic distance between POIs (200 m clusters, 1 h
+//!   dwell);
+//! * [`PitAttack`] (Gambs et al. 2014) — profiles are Mobility Markov
+//!   Chains compared by the *stats-prox* distance (stationary +
+//!   proximity);
+//! * [`ApAttack`] (Maouche et al. 2017) — profiles are heatmaps over
+//!   800 m cells compared by Topsoe divergence; the strongest known
+//!   attack.
+//!
+//! The [`Attack`]/[`TrainedAttack`] traits let MooD treat attacks as
+//! plug-ins; [`AttackSuite`] trains a set of them at once and answers the
+//! question the engine asks: *does at least one attack re-identify this
+//! trace?*
+//!
+//! # Examples
+//!
+//! ```
+//! use mood_attacks::{ApAttack, Attack, AttackSuite};
+//! use mood_synth::presets;
+//! use mood_trace::TimeDelta;
+//!
+//! let ds = presets::privamov_like().scaled(0.15).generate();
+//! let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
+//! let suite = AttackSuite::train(&[&ApAttack::paper_default()], &train);
+//! let trace = test.iter().next().unwrap();
+//! // raw traces of distinct users are usually re-identified
+//! let prediction = suite.attacks()[0].predict(trace);
+//! assert!(prediction.predicted.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ap_attack;
+mod evaluation;
+mod pit_attack;
+mod poi_attack;
+mod prediction;
+
+pub use ap_attack::ApAttack;
+pub use evaluation::{AttackSuite, DatasetEvaluation};
+pub use pit_attack::PitAttack;
+pub use poi_attack::PoiAttack;
+pub use prediction::Prediction;
+
+use mood_trace::{Dataset, Trace};
+
+/// An untrained re-identification attack: configuration plus the
+/// knowledge of how to build profiles.
+pub trait Attack {
+    /// Short attack name ("AP-Attack", "POI-Attack", "PIT-Attack").
+    fn name(&self) -> &'static str;
+
+    /// Trains the attack on background knowledge (the adversary's
+    /// non-obfuscated past traces, one per known user).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `background` is empty — an attack with
+    /// no candidates is a configuration error.
+    fn train(&self, background: &Dataset) -> Box<dyn TrainedAttack>;
+}
+
+/// A trained attack, ready to re-identify anonymous traces.
+pub trait TrainedAttack: Send + Sync {
+    /// Short attack name, same as the untrained attack's.
+    fn name(&self) -> &'static str;
+
+    /// Matches an anonymous trace against the learned profiles.
+    ///
+    /// Returns [`Prediction::none`] when no profile can be built from the
+    /// trace (e.g. no POIs) — the attack abstains, which counts as a
+    /// failed re-identification.
+    fn predict(&self, trace: &Trace) -> Prediction;
+
+    /// `true` when the attack links `trace` back to `true_user`.
+    /// (MooD knows the ground truth, paper §4.4.)
+    fn re_identifies(&self, trace: &Trace, true_user: mood_trace::UserId) -> bool {
+        self.predict(trace).predicted == Some(true_user)
+    }
+}

@@ -1,0 +1,183 @@
+use serde::{Deserialize, Serialize};
+
+use mood_trace::UserId;
+
+/// The outcome of matching one anonymous trace against learned profiles.
+///
+/// Besides the arg-min `predicted` user, the full per-candidate distance
+/// vector is exposed (sorted ascending) so callers can inspect margins,
+/// top-k accuracy or ties without re-running the attack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// The re-identified user, or `None` when the attack abstained
+    /// (could not build a profile from the trace).
+    pub predicted: Option<UserId>,
+    /// `(candidate, distance)` pairs sorted by ascending distance;
+    /// empty when the attack abstained.
+    pub scores: Vec<(UserId, f64)>,
+}
+
+impl Prediction {
+    /// An abstention: the attack could not profile the trace.
+    pub fn none() -> Self {
+        Self {
+            predicted: None,
+            scores: Vec::new(),
+        }
+    }
+
+    /// Builds a prediction from unsorted candidate distances; the
+    /// candidate with the smallest finite distance wins (ties broken by
+    /// user ID for determinism). Abstains when every distance is
+    /// non-finite.
+    pub fn from_scores(mut scores: Vec<(UserId, f64)>) -> Self {
+        scores.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let predicted = scores
+            .iter()
+            .find(|(_, d)| d.is_finite())
+            .map(|(u, _)| *u);
+        Self { predicted, scores }
+    }
+
+    /// `true` when the prediction names `user`.
+    pub fn is(&self, user: UserId) -> bool {
+        self.predicted == Some(user)
+    }
+
+    /// Rank of `user` in the score vector (0 = closest), or `None` when
+    /// the user was not scored.
+    pub fn rank_of(&self, user: UserId) -> Option<usize> {
+        self.scores.iter().position(|(u, _)| *u == user)
+    }
+
+    /// Distance margin between the best and second-best candidates;
+    /// `None` with fewer than two finite scores. Small margins indicate
+    /// shaky re-identifications.
+    pub fn margin(&self) -> Option<f64> {
+        let mut finite = self.scores.iter().filter(|(_, d)| d.is_finite());
+        let best = finite.next()?;
+        let second = finite.next()?;
+        Some(second.1 - best.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(id: u64) -> UserId {
+        UserId::new(id)
+    }
+
+    #[test]
+    fn from_scores_picks_min() {
+        let p = Prediction::from_scores(vec![(u(1), 5.0), (u(2), 2.0), (u(3), 9.0)]);
+        assert_eq!(p.predicted, Some(u(2)));
+        assert_eq!(p.scores[0].0, u(2));
+        assert!(p.is(u(2)));
+        assert!(!p.is(u(1)));
+    }
+
+    #[test]
+    fn ties_break_by_user_id() {
+        let p = Prediction::from_scores(vec![(u(9), 1.0), (u(3), 1.0)]);
+        assert_eq!(p.predicted, Some(u(3)));
+    }
+
+    #[test]
+    fn infinite_scores_are_skipped() {
+        let p = Prediction::from_scores(vec![(u(1), f64::INFINITY), (u(2), 3.0)]);
+        assert_eq!(p.predicted, Some(u(2)));
+    }
+
+    #[test]
+    fn all_infinite_abstains() {
+        let p = Prediction::from_scores(vec![(u(1), f64::INFINITY), (u(2), f64::INFINITY)]);
+        assert_eq!(p.predicted, None);
+    }
+
+    #[test]
+    fn none_is_empty() {
+        let p = Prediction::none();
+        assert_eq!(p.predicted, None);
+        assert!(p.scores.is_empty());
+        assert_eq!(p.margin(), None);
+    }
+
+    #[test]
+    fn rank_and_margin() {
+        let p = Prediction::from_scores(vec![(u(1), 5.0), (u(2), 2.0), (u(3), 9.0)]);
+        assert_eq!(p.rank_of(u(2)), Some(0));
+        assert_eq!(p.rank_of(u(3)), Some(2));
+        assert_eq!(p.rank_of(u(7)), None);
+        assert!((p.margin().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Prediction::from_scores(vec![(u(1), 5.0), (u(2), 2.0)]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Prediction = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_scores() -> impl Strategy<Value = Vec<(UserId, f64)>> {
+        proptest::collection::vec((0u64..50, 0.0f64..1e6), 1..40).prop_map(|v| {
+            // unique users, keep first occurrence
+            let mut seen = std::collections::HashSet::new();
+            v.into_iter()
+                .filter(|(id, _)| seen.insert(*id))
+                .map(|(id, d)| (UserId::new(id), d))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn winner_has_minimal_distance(scores in arb_scores()) {
+            let min = scores
+                .iter()
+                .map(|(_, d)| *d)
+                .fold(f64::INFINITY, f64::min);
+            let p = Prediction::from_scores(scores);
+            let winner = p.predicted.expect("finite scores exist");
+            let d = p.scores.iter().find(|(u, _)| *u == winner).unwrap().1;
+            prop_assert!((d - min).abs() < 1e-12);
+        }
+
+        #[test]
+        fn scores_sorted_ascending(scores in arb_scores()) {
+            let p = Prediction::from_scores(scores);
+            for pair in p.scores.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].1);
+            }
+        }
+
+        #[test]
+        fn margin_nonnegative(scores in arb_scores()) {
+            let p = Prediction::from_scores(scores);
+            if let Some(m) = p.margin() {
+                prop_assert!(m >= 0.0);
+            }
+        }
+
+        #[test]
+        fn every_candidate_is_ranked(scores in arb_scores()) {
+            let users: Vec<UserId> = scores.iter().map(|(u, _)| *u).collect();
+            let p = Prediction::from_scores(scores);
+            for u in users {
+                prop_assert!(p.rank_of(u).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablation benches: the cost of MooD's design choices (composition
+//! depth, recursion floor δ) — the time side of the `exp_ablation`
+//! binary's quality tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mood_bench::ExperimentContext;
+use mood_core::{protect_dataset, MoodConfig, MoodEngine};
+use mood_synth::presets;
+use mood_trace::TimeDelta;
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext::load(&presets::privamov_like(), 0.15)
+}
+
+fn bench_composition_depth(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("mood_composition_depth");
+    group.sample_size(10);
+    for cap in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            let mut config = MoodConfig::paper_default();
+            config.max_composition_len = cap;
+            let engine = MoodEngine::new(ctx.suite_all.clone(), ctx.lppms().to_vec(), config);
+            b.iter(|| std::hint::black_box(protect_dataset(&engine, &ctx.test, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("mood_delta_floor");
+    group.sample_size(10);
+    for hours in [2i64, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("delta_h", hours), &hours, |b, &hours| {
+            let mut config = MoodConfig::paper_default();
+            config.delta = TimeDelta::from_hours(hours);
+            let engine = MoodEngine::new(ctx.suite_all.clone(), ctx.lppms().to_vec(), config);
+            b.iter(|| std::hint::black_box(protect_dataset(&engine, &ctx.test, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench_composition_depth, bench_delta);
+criterion_main!(ablation);

@@ -1,0 +1,112 @@
+//! Micro-benchmarks of the building blocks: geodesy, profile models,
+//! attacks and LPPMs. These are the inner loops of every experiment, so
+//! regressions here multiply into the figure-generation times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mood_attacks::{ApAttack, Attack, PitAttack, PoiAttack};
+use mood_geo::{GeoPoint, Grid};
+use mood_lppm::{GeoI, Hmc, Lppm, Trl};
+use mood_metrics::spatio_temporal_distortion;
+use mood_models::{Heatmap, PoiExtractor};
+use mood_synth::presets;
+use mood_trace::{Dataset, TimeDelta, Trace};
+
+fn world() -> (Dataset, Dataset) {
+    let ds = presets::privamov_like().scaled(0.2).generate();
+    ds.split_chronological(TimeDelta::from_days(15))
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let a = GeoPoint::new(45.76, 4.83).unwrap();
+    let b = GeoPoint::new(45.78, 4.88).unwrap();
+    c.bench_function("geo_haversine", |bench| {
+        bench.iter(|| std::hint::black_box(a.haversine_distance(&b)))
+    });
+    c.bench_function("geo_approx_distance", |bench| {
+        bench.iter(|| std::hint::black_box(a.approx_distance(&b)))
+    });
+    let grid = Grid::new(
+        mood_geo::BoundingBox::new(45.70, 45.81, 4.78, 4.93).unwrap(),
+        800.0,
+    )
+    .unwrap();
+    c.bench_function("grid_cell_of", |bench| {
+        bench.iter(|| std::hint::black_box(grid.cell_of(&a)))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let (train, _) = world();
+    let trace: &Trace = train.iter().next().unwrap();
+    let grid = Grid::new(train.bounding_box().unwrap(), 800.0).unwrap();
+    c.bench_function("poi_extraction_per_trace", |b| {
+        let extractor = PoiExtractor::paper_default();
+        b.iter(|| std::hint::black_box(extractor.extract_profile(trace)))
+    });
+    c.bench_function("heatmap_build_per_trace", |b| {
+        b.iter(|| std::hint::black_box(Heatmap::from_trace(&grid, trace)))
+    });
+    let hm1 = Heatmap::from_trace(&grid, trace);
+    let hm2 = Heatmap::from_trace(&grid, train.iter().nth(1).unwrap());
+    c.bench_function("heatmap_topsoe", |b| {
+        b.iter(|| std::hint::black_box(hm1.topsoe(&hm2)))
+    });
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (train, test) = world();
+    let victim = test.iter().next().unwrap();
+    let ap = ApAttack::paper_default().train(&train);
+    let poi = PoiAttack::paper_default().train(&train);
+    let pit = PitAttack::paper_default().train(&train);
+    c.bench_function("ap_attack_predict", |b| {
+        b.iter(|| std::hint::black_box(ap.predict(victim)))
+    });
+    c.bench_function("poi_attack_predict", |b| {
+        b.iter(|| std::hint::black_box(poi.predict(victim)))
+    });
+    c.bench_function("pit_attack_predict", |b| {
+        b.iter(|| std::hint::black_box(pit.predict(victim)))
+    });
+}
+
+fn bench_lppms(c: &mut Criterion) {
+    let (train, test) = world();
+    let victim = test.iter().next().unwrap();
+    let geoi = GeoI::paper_default();
+    let trl = Trl::paper_default();
+    let hmc = Hmc::paper_default(&train);
+    c.bench_function("geoi_protect_per_trace", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(geoi.protect(victim, &mut rng))
+        })
+    });
+    c.bench_function("trl_protect_per_trace", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(trl.protect(victim, &mut rng))
+        })
+    });
+    c.bench_function("hmc_protect_per_trace", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(hmc.protect(victim, &mut rng))
+        })
+    });
+    let mut rng = StdRng::seed_from_u64(2);
+    let protected = geoi.protect(victim, &mut rng);
+    c.bench_function("std_metric_per_trace", |b| {
+        b.iter(|| std::hint::black_box(spatio_temporal_distortion(victim, &protected)))
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_geo, bench_models, bench_attacks, bench_lppms
+}
+criterion_main!(components);

@@ -1,0 +1,91 @@
+//! Criterion benches, one per paper table/figure: each measures the
+//! wall-clock cost of regenerating the corresponding result on a
+//! scaled-down workload (the full-scale numbers come from the `exp_*`
+//! binaries; these benches track the *performance* of the pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mood_bench::{run_figures, run_mood, Adversary, ExperimentContext};
+use mood_synth::presets;
+use mood_trace::TimeDelta;
+
+/// Shared scaled-down context (privamov-like at 15 %) so each bench body
+/// exercises the real pipeline end to end.
+fn ctx() -> ExperimentContext {
+    ExperimentContext::load(&presets::privamov_like(), 0.15)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_dataset_generation", |b| {
+        let spec = presets::mdc_like().scaled(0.1);
+        b.iter(|| {
+            let ds = spec.generate();
+            std::hint::black_box(ds.split_chronological(TimeDelta::from_days(15)))
+        });
+    });
+}
+
+fn bench_fig2_3(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("fig2_nonprotected_users", |b| {
+        // single-LPPM protect + multi-attack evaluation (the Fig.2/3 body)
+        b.iter(|| {
+            for lppm in ctx.lppms() {
+                let protected = ctx.protect_all(lppm.as_ref());
+                std::hint::black_box(ctx.suite_all.evaluate(&protected));
+            }
+        });
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("fig6_single_attack", |b| {
+        b.iter(|| std::hint::black_box(run_figures(&ctx, Adversary::ApOnly, 1)));
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("fig7_multi_attack", |b| {
+        b.iter(|| std::hint::black_box(run_figures(&ctx, Adversary::All, 1)));
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("fig8_fine_grained", |b| {
+        // the fine-grained stats fall out of the MooD run
+        b.iter(|| {
+            let report = run_mood(&ctx, Adversary::All, 1);
+            std::hint::black_box(report.fine_grained_stats())
+        });
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("fig9_utility_bands", |b| {
+        b.iter(|| {
+            let report = run_mood(&ctx, Adversary::All, 1);
+            std::hint::black_box(report.distortion_bands())
+        });
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("fig10_data_loss", |b| {
+        b.iter(|| {
+            let report = run_mood(&ctx, Adversary::All, 1);
+            std::hint::black_box(report.data_loss)
+        });
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig2_3, bench_fig6, bench_fig7, bench_fig8, bench_fig9, bench_fig10
+}
+criterion_main!(experiments);

@@ -1,0 +1,57 @@
+//! Figure 9 — Utility of protected data: for every mechanism, the share
+//! of protected users in each spatio-temporal-distortion band
+//! (< 500 m, < 1 km, < 5 km, ≥ 5 km).
+//!
+//! Usage: `cargo run --release -p mood-bench --bin exp_fig9 [--scale X] [--threads N]`
+
+use mood_bench::{cli_options, run_figures, Adversary, ExperimentContext};
+use mood_synth::presets;
+
+const BANDS: [&str; 4] = ["Low", "Medium", "High", "ExtremelyHigh"];
+
+fn main() {
+    let (scale, threads) = cli_options();
+    println!("Figure 9: utility of data protected with MooD vs. competitors");
+    println!("(bands: Low <500 m | Medium <1 km | High <5 km | ExtremelyHigh >=5 km; scale {scale})\n");
+    let mut all = Vec::new();
+    for spec in presets::all() {
+        let ctx = ExperimentContext::load(&spec, scale);
+        let figures = run_figures(&ctx, Adversary::All, threads);
+        println!("--- {} ---", figures.dataset);
+        println!(
+            "{:<12} {:>10} {:>8} {:>8} {:>8} {:>14}",
+            "mechanism", "protected", BANDS[0], BANDS[1], BANDS[2], BANDS[3]
+        );
+        for m in &figures.mechanisms {
+            if m.mechanism == "no-LPPM" {
+                continue;
+            }
+            let pct = |band: &str| -> f64 {
+                if m.protected_users == 0 {
+                    0.0
+                } else {
+                    *m.bands.get(band).unwrap_or(&0) as f64 / m.protected_users as f64 * 100.0
+                }
+            };
+            println!(
+                "{:<12} {:>10} {:>7.1}% {:>7.1}% {:>7.1}% {:>13.1}%",
+                m.mechanism,
+                m.protected_users,
+                pct(BANDS[0]),
+                pct(BANDS[1]),
+                pct(BANDS[2]),
+                pct(BANDS[3])
+            );
+        }
+        println!();
+        all.push(figures);
+    }
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/fig9.json",
+        serde_json::to_string_pretty(&all).expect("serializable"),
+    )
+    .ok();
+    println!("paper reference (share of protected users with distortion <500 m, all datasets):");
+    println!("  Geo-I 38% | TRL 12% | HMC 45% | Hybrid 49% | MooD 53.47%  (<1 km: MooD 78%)");
+}

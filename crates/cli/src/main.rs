@@ -1,0 +1,310 @@
+//! `mood` — deployment CLI for the MooD mobility-privacy middleware.
+//!
+//! Subcommands:
+//!
+//! * `mood synth`   — generate a synthetic mobility dataset (CSV)
+//! * `mood split`   — chronological train/test split of a CSV dataset
+//! * `mood protect` — protect a dataset with MooD and publish pseudonymized CSV
+//! * `mood attack`  — run the re-identification attacks against a dataset
+//! * `mood eval`    — count-query utility of a protected dataset vs the original
+//!
+//! Run `mood help` for per-command usage.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use mood_core::{protect_dataset, publish, MoodConfig, MoodEngine};
+use mood_geo::Grid;
+use mood_metrics::CountQueryStats;
+use mood_synth::presets;
+use mood_trace::{io as trace_io, TimeDelta};
+
+const USAGE: &str = "\
+mood — MObility Data privacy as Orphan Disease (Middleware '19)
+
+USAGE:
+  mood synth   --preset <mdc|privamov|geolife|cabspotting> --out <file.csv>
+               [--scale <0..1>] [--seed <n>]
+  mood split   --input <file.csv> --train <out.csv> --test <out.csv>
+               [--train-days <n=15>]
+  mood protect --input <test.csv> --background <train.csv> --out <file.csv>
+               [--report <file.json>] [--threads <n>] [--delta-hours <n=4>]
+               [--window-hours <n=24>] [--seed <n>]
+  mood attack  --input <file.csv> --background <train.csv>
+  mood eval    --original <file.csv> --protected <file.csv> [--cell-m <n=800>]
+  mood help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_flags(&args[1..]);
+    let result = match command.as_str() {
+        "synth" => cmd_synth(&opts),
+        "split" => cmd_split(&opts),
+        "protect" => cmd_protect(&opts),
+        "attack" => cmd_attack(&opts),
+        "eval" => cmd_eval(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--key value` pairs; repeated keys keep the last value.
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                out.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn required<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn parse_or<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for --{key}")),
+    }
+}
+
+fn cmd_synth(opts: &HashMap<String, String>) -> Result<(), String> {
+    let preset = required(opts, "preset")?;
+    let out = required(opts, "out")?;
+    let scale: f64 = parse_or(opts, "scale", 1.0)?;
+    let mut spec = match preset {
+        "mdc" => presets::mdc_like(),
+        "privamov" => presets::privamov_like(),
+        "geolife" => presets::geolife_like(),
+        "cabspotting" => presets::cabspotting_like(),
+        other => return Err(format!("unknown preset '{other}'")),
+    };
+    if let Some(seed) = opts.get("seed") {
+        spec.seed = seed.parse().map_err(|_| "invalid --seed".to_string())?;
+    }
+    let spec = if scale < 1.0 { spec.scaled(scale) } else { spec };
+    let ds = spec.generate();
+    trace_io::write_csv_file(&ds, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} users, {} records)",
+        out,
+        ds.user_count(),
+        ds.record_count()
+    );
+    Ok(())
+}
+
+fn cmd_split(opts: &HashMap<String, String>) -> Result<(), String> {
+    let input = required(opts, "input")?;
+    let train_out = required(opts, "train")?;
+    let test_out = required(opts, "test")?;
+    let days: i64 = parse_or(opts, "train-days", 15)?;
+    if days <= 0 {
+        return Err("--train-days must be positive".into());
+    }
+    let ds = trace_io::read_csv_file(input).map_err(|e| e.to_string())?;
+    let (train, test) = ds.split_chronological(TimeDelta::from_days(days));
+    trace_io::write_csv_file(&train, train_out).map_err(|e| e.to_string())?;
+    trace_io::write_csv_file(&test, test_out).map_err(|e| e.to_string())?;
+    println!(
+        "split {} users: train {} records -> {train_out}, test {} records -> {test_out}",
+        train.user_count(),
+        train.record_count(),
+        test.record_count()
+    );
+    Ok(())
+}
+
+fn cmd_protect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let input = required(opts, "input")?;
+    let background_path = required(opts, "background")?;
+    let out = required(opts, "out")?;
+    let threads: usize = parse_or(
+        opts,
+        "threads",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    )?;
+    let delta_hours: i64 = parse_or(opts, "delta-hours", 4)?;
+    let window_hours: i64 = parse_or(opts, "window-hours", 24)?;
+    let seed: u64 = parse_or(opts, "seed", MoodConfig::paper_default().seed)?;
+    if delta_hours <= 0 || window_hours <= 0 {
+        return Err("--delta-hours and --window-hours must be positive".into());
+    }
+
+    let background = trace_io::read_csv_file(background_path).map_err(|e| e.to_string())?;
+    let test = trace_io::read_csv_file(input).map_err(|e| e.to_string())?;
+    if background.is_empty() || test.is_empty() {
+        return Err("input datasets must not be empty".into());
+    }
+    println!(
+        "protecting {} users / {} records against POI+PIT+AP attacks...",
+        test.user_count(),
+        test.record_count()
+    );
+
+    let base = MoodEngine::paper_default(&background);
+    let mut config = *base.config();
+    config.delta = TimeDelta::from_hours(delta_hours);
+    config.initial_window = Some(TimeDelta::from_hours(window_hours));
+    config.seed = seed;
+    let engine = MoodEngine::new(
+        std::sync::Arc::new(mood_attacks::AttackSuite::train(
+            &[
+                &mood_attacks::PoiAttack::paper_default() as &dyn mood_attacks::Attack,
+                &mood_attacks::PitAttack::paper_default(),
+                &mood_attacks::ApAttack::paper_default(),
+            ],
+            &background,
+        )),
+        base.lppms().to_vec(),
+        config,
+    );
+
+    let report = protect_dataset(&engine, &test, threads.max(1));
+    let (published, _ground_truth) = publish(report.outcomes());
+    trace_io::write_csv_file(&published, out).map_err(|e| e.to_string())?;
+
+    println!("\nprotection classes:");
+    for (class, count) in &report.class_counts {
+        println!("  {class}: {count}");
+    }
+    println!("data loss: {}", report.data_loss);
+    println!(
+        "published {} pseudonymous traces -> {out}",
+        published.user_count()
+    );
+    if let Some(report_path) = opts.get("report") {
+        let json = serde_json::to_string_pretty(&report.summary())
+            .map_err(|e| e.to_string())?;
+        std::fs::write(report_path, json).map_err(|e| e.to_string())?;
+        println!("report -> {report_path}");
+    }
+    Ok(())
+}
+
+fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
+    let input = required(opts, "input")?;
+    let background_path = required(opts, "background")?;
+    let background = trace_io::read_csv_file(background_path).map_err(|e| e.to_string())?;
+    let target = trace_io::read_csv_file(input).map_err(|e| e.to_string())?;
+    if background.is_empty() || target.is_empty() {
+        return Err("input datasets must not be empty".into());
+    }
+    let suite = mood_attacks::AttackSuite::train(
+        &[
+            &mood_attacks::PoiAttack::paper_default() as &dyn mood_attacks::Attack,
+            &mood_attacks::PitAttack::paper_default(),
+            &mood_attacks::ApAttack::paper_default(),
+        ],
+        &background,
+    );
+    let eval = suite.evaluate(&target);
+    println!(
+        "re-identified {} of {} users ({:.1}%)",
+        eval.non_protected_count(),
+        eval.users_total,
+        eval.non_protected_ratio() * 100.0
+    );
+    for (attack, count) in &eval.re_identified_per_attack {
+        println!("  {attack}: {count}");
+    }
+    println!(
+        "data that would be lost on deletion: {:.1}%",
+        eval.data_loss_ratio() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_eval(opts: &HashMap<String, String>) -> Result<(), String> {
+    let original_path = required(opts, "original")?;
+    let protected_path = required(opts, "protected")?;
+    let cell_m: f64 = parse_or(opts, "cell-m", 800.0)?;
+    let original = trace_io::read_csv_file(original_path).map_err(|e| e.to_string())?;
+    let protected = trace_io::read_csv_file(protected_path).map_err(|e| e.to_string())?;
+    let bbox = original
+        .bounding_box()
+        .ok_or("original dataset is empty")?
+        .expanded(2_000.0)
+        .map_err(|e| e.to_string())?;
+    let grid = Grid::new(bbox, cell_m).map_err(|e| e.to_string())?;
+    let stats = CountQueryStats::compare(&grid, &original, &protected);
+    println!("count-query utility over {cell_m} m cells:");
+    println!("  cell recall      {:.1}%", stats.cell_recall * 100.0);
+    println!("  cell precision   {:.1}%", stats.cell_precision * 100.0);
+    println!("  cell F1          {:.1}%", stats.cell_f1 * 100.0);
+    println!("  weighted Jaccard {:.3}", stats.weighted_jaccard);
+    println!("  mean |count error| {:.2}", stats.mean_absolute_error);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags_pairs() {
+        let args: Vec<String> = ["--scale", "0.5", "--out", "x.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_flags(&args);
+        assert_eq!(opts["scale"], "0.5");
+        assert_eq!(opts["out"], "x.csv");
+    }
+
+    #[test]
+    fn required_reports_missing_flag() {
+        let opts = HashMap::new();
+        let err = required(&opts, "input").unwrap_err();
+        assert!(err.contains("--input"));
+    }
+
+    #[test]
+    fn parse_or_uses_default_and_validates() {
+        let mut opts = HashMap::new();
+        assert_eq!(parse_or(&opts, "threads", 4usize).unwrap(), 4);
+        opts.insert("threads".into(), "7".into());
+        assert_eq!(parse_or(&opts, "threads", 4usize).unwrap(), 7);
+        opts.insert("threads".into(), "x".into());
+        assert!(parse_or(&opts, "threads", 4usize).is_err());
+    }
+
+    #[test]
+    fn synth_rejects_unknown_preset() {
+        let mut opts = HashMap::new();
+        opts.insert("preset".into(), "nope".into());
+        opts.insert("out".into(), "/tmp/x.csv".into());
+        assert!(cmd_synth(&opts).unwrap_err().contains("unknown preset"));
+    }
+}

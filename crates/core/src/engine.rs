@@ -1,0 +1,522 @@
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mood_attacks::{ApAttack, Attack, AttackSuite, PitAttack, PoiAttack};
+use mood_lppm::{enumerate_compositions, Composition, GeoI, Hmc, Lppm, Trl};
+use mood_metrics::spatio_temporal_distortion;
+use mood_trace::{Dataset, Trace};
+
+use crate::{
+    FineGrainedStats, MoodConfig, ProtectedTrace, ProtectionOutcome, UserClass, UserProtection,
+};
+
+/// The MooD engine: Algorithm 1 of the paper, wired to an attack suite,
+/// a base LPPM set and a configuration.
+///
+/// The engine is immutable and `Sync`; [`crate::protect_dataset`] runs it
+/// from many threads at once.
+///
+/// # Examples
+///
+/// ```
+/// use mood_core::{MoodEngine, UserClass};
+/// use mood_synth::presets;
+/// use mood_trace::TimeDelta;
+///
+/// let ds = presets::privamov_like().scaled(0.15).generate();
+/// let (background, test) = ds.split_chronological(TimeDelta::from_days(15));
+/// let engine = MoodEngine::paper_default(&background);
+/// let victim = test.iter().next().unwrap();
+/// let result = engine.protect_user(victim);
+/// assert_eq!(result.user, victim.user());
+/// assert!(result.original_records > 0);
+/// ```
+pub struct MoodEngine {
+    suite: Arc<AttackSuite>,
+    base: Vec<Arc<dyn Lppm>>,
+    compositions: Vec<Composition>,
+    config: MoodConfig,
+}
+
+impl MoodEngine {
+    /// Creates an engine from a trained attack suite, a base LPPM set
+    /// `L`, and a configuration. The composition space `C − L` is
+    /// enumerated eagerly (it is tiny: 12 chains for n = 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base` is empty or the configuration is invalid.
+    pub fn new(suite: Arc<AttackSuite>, base: Vec<Arc<dyn Lppm>>, config: MoodConfig) -> Self {
+        assert!(!base.is_empty(), "MooD needs at least one LPPM");
+        config.validate();
+        let max_len = config.max_composition_len.min(base.len());
+        let compositions = if max_len >= 2 {
+            enumerate_compositions(&base, 2, max_len)
+        } else {
+            Vec::new()
+        };
+        Self {
+            suite,
+            base,
+            compositions,
+            config,
+        }
+    }
+
+    /// The paper's full setup: POI/PIT/AP attacks trained on
+    /// `background`, the LPPM set {Geo-I, TRL, HMC} with the paper's
+    /// parameters, and [`MoodConfig::paper_default`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `background` is empty.
+    pub fn paper_default(background: &Dataset) -> Self {
+        let suite = AttackSuite::train(
+            &[
+                &PoiAttack::paper_default() as &dyn Attack,
+                &PitAttack::paper_default(),
+                &ApAttack::paper_default(),
+            ],
+            background,
+        );
+        let base: Vec<Arc<dyn Lppm>> = vec![
+            Arc::new(GeoI::paper_default()),
+            Arc::new(Trl::paper_default()),
+            Arc::new(Hmc::paper_default(background)),
+        ];
+        Self::new(Arc::new(suite), base, MoodConfig::paper_default())
+    }
+
+    /// The trained attack suite driving the resilience checks.
+    pub fn suite(&self) -> &AttackSuite {
+        &self.suite
+    }
+
+    /// A shareable handle to the suite, for building sibling engines
+    /// (different configs against the same adversary) without retraining.
+    pub fn shared_suite(&self) -> Arc<AttackSuite> {
+        Arc::clone(&self.suite)
+    }
+
+    /// The base LPPM set `L`.
+    pub fn lppms(&self) -> &[Arc<dyn Lppm>] {
+        &self.base
+    }
+
+    /// The enumerated composition space `C − L` (length ≥ 2 chains).
+    pub fn compositions(&self) -> &[Composition] {
+        &self.compositions
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MoodConfig {
+        &self.config
+    }
+
+    /// Deterministic RNG for one (trace, variant) application: derived
+    /// from the engine seed, the trace's user, its start time (so each
+    /// sub-trace draws fresh noise) and the variant index.
+    fn variant_rng(&self, trace: &Trace, variant_idx: usize) -> StdRng {
+        let mut h = self.config.seed;
+        for v in [
+            trace.user().as_u64(),
+            trace.start_time().as_unix() as u64,
+            variant_idx as u64,
+        ] {
+            h ^= mix64(v);
+            h = mix64(h);
+        }
+        StdRng::seed_from_u64(h)
+    }
+
+    /// Tries every variant in `variants`, keeping the resilient one with
+    /// the lowest spatio-temporal distortion (Best LPPM Selection,
+    /// §3.5). Variant indices offset by `idx_base` keep single and
+    /// composition RNG streams disjoint.
+    fn best_resilient<'a, I>(&self, trace: &Trace, variants: I, idx_base: usize) -> Option<ProtectedTrace>
+    where
+        I: IntoIterator<Item = &'a dyn Lppm>,
+    {
+        let mut best: Option<ProtectedTrace> = None;
+        for (i, lppm) in variants.into_iter().enumerate() {
+            let mut rng = self.variant_rng(trace, idx_base + i);
+            let candidate = lppm.protect(trace, &mut rng);
+            if !self.suite.protects(&candidate, trace.user()) {
+                continue;
+            }
+            let distortion = spatio_temporal_distortion(trace, &candidate);
+            if best.as_ref().is_none_or(|b| distortion < b.distortion_m) {
+                best = Some(ProtectedTrace {
+                    trace: candidate,
+                    lppm: lppm.name().to_string(),
+                    distortion_m: distortion,
+                });
+            }
+        }
+        best
+    }
+
+    /// Single-LPPM stage (Algorithm 1 lines 4–14): the resilient single
+    /// LPPM with the lowest distortion, if any.
+    pub fn search_single(&self, trace: &Trace) -> Option<ProtectedTrace> {
+        self.best_resilient(trace, self.base.iter().map(|l| l as &dyn Lppm), 0)
+    }
+
+    /// Composition stage (lines 16–26): the resilient composition with
+    /// the lowest distortion, if any.
+    ///
+    /// Note: the paper's line 26 reads `argmax M`; we interpret `M`
+    /// uniformly as a distortion to minimize (the paper's own §3.5:
+    /// "the lower the distortion the better"). See DESIGN.md.
+    pub fn search_composition(&self, trace: &Trace) -> Option<ProtectedTrace> {
+        self.best_resilient(
+            trace,
+            self.compositions.iter().map(|c| c as &dyn Lppm),
+            self.base.len(),
+        )
+    }
+
+    /// The whole-trace Multi-LPPM Composition Search: singles first,
+    /// compositions only when no single works (Algorithm 1's ordering).
+    /// The boolean reports whether a composition was needed.
+    pub fn search_whole(&self, trace: &Trace) -> Option<(ProtectedTrace, bool)> {
+        if let Some(p) = self.search_single(trace) {
+            return Some((p, false));
+        }
+        self.search_composition(trace).map(|p| (p, true))
+    }
+
+    /// Recursive fine-grained protection (lines 27–36): whole-trace
+    /// search on the sub-trace; on failure split in half by time and
+    /// recurse while the sub-trace spans at least δ; below δ the records
+    /// are erased.
+    fn protect_recursive(
+        &self,
+        trace: &Trace,
+        published: &mut Vec<ProtectedTrace>,
+        stats: &mut FineGrainedStats,
+    ) {
+        stats.sub_traces_total += 1;
+        if let Some((p, _)) = self.search_whole(trace) {
+            stats.sub_traces_protected += 1;
+            stats.records_published += trace.len();
+            published.push(p);
+            return;
+        }
+        if trace.duration() >= self.config.delta {
+            // A degenerate split (all records at one instant) yields
+            // nothing to recurse on; treat the sub-trace as
+            // unprotectable rather than looping.
+            match self.config.split_strategy.split(trace) {
+                Some((l, r)) => {
+                    self.protect_recursive(&l, published, stats);
+                    self.protect_recursive(&r, published, stats);
+                }
+                None => stats.records_dropped += trace.len(),
+            }
+        } else {
+            stats.records_dropped += trace.len();
+        }
+    }
+
+    /// Protects one user's trace end to end (Algorithm 1 plus the §4.2
+    /// experimental protocol) and classifies the user.
+    pub fn protect_user(&self, trace: &Trace) -> UserProtection {
+        let naturally_protected = self.suite.protects(trace, trace.user());
+
+        // Whole-trace search: singles, then compositions.
+        let single = self.search_single(trace);
+        let whole = match single {
+            Some(p) => Some((p, false)),
+            None => self.search_composition(trace).map(|p| (p, true)),
+        };
+
+        if let Some((protected, via_composition)) = whole {
+            let class = if naturally_protected {
+                UserClass::NaturallyProtected
+            } else if via_composition {
+                UserClass::MultiLppm
+            } else {
+                UserClass::SingleLppm
+            };
+            return UserProtection {
+                user: trace.user(),
+                class,
+                outcome: ProtectionOutcome::Whole(protected),
+                original_records: trace.len(),
+            };
+        }
+
+        // Fine-grained stage: initial windows (24 h in the paper), then
+        // recursive halving with the δ floor.
+        let mut published = Vec::new();
+        let mut stats = FineGrainedStats::default();
+        match self.config.initial_window {
+            Some(window) => {
+                for sub in trace.windows(window) {
+                    self.protect_recursive(&sub, &mut published, &mut stats);
+                }
+            }
+            None => self.protect_recursive(trace, &mut published, &mut stats),
+        }
+
+        let class = if naturally_protected {
+            UserClass::NaturallyProtected
+        } else if published.is_empty() {
+            UserClass::Unprotectable
+        } else {
+            UserClass::FineGrained
+        };
+        UserProtection {
+            user: trace.user(),
+            class,
+            outcome: ProtectionOutcome::FineGrained { published, stats },
+            original_records: trace.len(),
+        }
+    }
+}
+
+/// SplitMix64 finalizer for deterministic RNG stream derivation.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_trace::{TimeDelta, UserId};
+
+    fn mini_world() -> (Dataset, Dataset) {
+        let ds = mood_synth::presets::privamov_like().scaled(0.25).generate();
+        ds.split_chronological(TimeDelta::from_days(15))
+    }
+
+    #[test]
+    fn paper_default_wiring() {
+        let (bg, _) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        assert_eq!(engine.lppms().len(), 3);
+        assert_eq!(engine.compositions().len(), 12); // C - L for n = 3
+        assert_eq!(engine.suite().len(), 3);
+    }
+
+    #[test]
+    fn protect_user_is_deterministic() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        let trace = test.iter().next().unwrap();
+        let a = engine.protect_user(trace);
+        let b = engine.protect_user(trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn published_variants_resist_the_suite() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        for trace in test.iter().take(6) {
+            let result = engine.protect_user(trace);
+            for p in result.outcome.published() {
+                assert!(
+                    engine.suite().protects(&p.trace, trace.user()),
+                    "published variant of {} re-identified",
+                    trace.user()
+                );
+                assert!(p.distortion_m.is_finite() && p.distortion_m >= 0.0);
+                assert!(!p.lppm.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn single_stage_preferred_over_composition() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        for trace in test.iter().take(6) {
+            if let Some(p_single) = engine.search_single(trace) {
+                let (p, via_comp) = engine.search_whole(trace).unwrap();
+                assert!(!via_comp);
+                assert_eq!(p.lppm, p_single.lppm);
+                // single names contain no chain arrow
+                assert!(!p.lppm.contains('→'));
+            }
+        }
+    }
+
+    #[test]
+    fn selection_minimizes_distortion_among_singles() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        let trace = test.iter().next().unwrap();
+        if let Some(best) = engine.search_single(trace) {
+            // re-derive every resilient single's distortion and check min
+            for (i, lppm) in engine.lppms().iter().enumerate() {
+                let mut rng = engine.variant_rng(trace, i);
+                let cand = lppm.protect(trace, &mut rng);
+                if engine.suite().protects(&cand, trace.user()) {
+                    let d = spatio_temporal_distortion(trace, &cand);
+                    assert!(best.distortion_m <= d + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fine_grained_accounts_every_record() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        for trace in test.iter() {
+            let result = engine.protect_user(trace);
+            if let ProtectionOutcome::FineGrained { stats, .. } = &result.outcome {
+                assert_eq!(
+                    stats.records_published + stats.records_dropped,
+                    trace.len(),
+                    "record accounting broken for {}",
+                    trace.user()
+                );
+                assert!(stats.sub_traces_protected <= stats.sub_traces_total);
+            }
+        }
+    }
+
+    #[test]
+    fn classes_are_consistent_with_outcomes() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        for trace in test.iter() {
+            let r = engine.protect_user(trace);
+            match (&r.class, &r.outcome) {
+                (UserClass::SingleLppm | UserClass::MultiLppm, ProtectionOutcome::Whole(_)) => {}
+                (UserClass::NaturallyProtected, _) => {}
+                (UserClass::FineGrained, ProtectionOutcome::FineGrained { published, .. }) => {
+                    assert!(!published.is_empty());
+                }
+                (UserClass::Unprotectable, ProtectionOutcome::FineGrained { published, .. }) => {
+                    assert!(published.is_empty());
+                }
+                (class, outcome) => {
+                    panic!("inconsistent class {class:?} for outcome {outcome:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_composition_len_one_disables_compositions() {
+        let (bg, _) = mini_world();
+        let full = MoodEngine::paper_default(&bg);
+        let mut config = MoodConfig::paper_default();
+        config.max_composition_len = 1;
+        let engine = MoodEngine::new(
+            Arc::new(AttackSuite::train(
+                &[&ApAttack::paper_default() as &dyn Attack],
+                &bg,
+            )),
+            full.lppms().to_vec(),
+            config,
+        );
+        assert!(engine.compositions().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one LPPM")]
+    fn rejects_empty_lppm_set() {
+        let (bg, _) = mini_world();
+        let suite = Arc::new(AttackSuite::train(
+            &[&ApAttack::paper_default() as &dyn Attack],
+            &bg,
+        ));
+        MoodEngine::new(suite, vec![], MoodConfig::paper_default());
+    }
+
+    #[test]
+    fn algorithm1_verbatim_mode_without_initial_window() {
+        // initial_window = None runs Algorithm 1 exactly as printed:
+        // recursive halving starts on the whole trace.
+        let (bg, test) = mini_world();
+        let base = MoodEngine::paper_default(&bg);
+        let mut config = MoodConfig::paper_default();
+        config.initial_window = None;
+        let engine = MoodEngine::new(
+            Arc::new(AttackSuite::train(
+                &[&ApAttack::paper_default() as &dyn Attack],
+                &bg,
+            )),
+            base.lppms().to_vec(),
+            config,
+        );
+        for trace in test.iter().take(3) {
+            let r = engine.protect_user(trace);
+            if let crate::ProtectionOutcome::FineGrained { stats, .. } = &r.outcome {
+                assert_eq!(
+                    stats.records_published + stats.records_dropped,
+                    trace.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_strategies_all_account_records() {
+        let (bg, test) = mini_world();
+        let base = MoodEngine::paper_default(&bg);
+        for strategy in [
+            crate::SplitStrategy::Halving,
+            crate::SplitStrategy::LargestGap,
+            crate::SplitStrategy::InterPoi,
+        ] {
+            let mut config = MoodConfig::paper_default();
+            config.split_strategy = strategy;
+            let engine = MoodEngine::new(base.shared_suite(), base.lppms().to_vec(), config);
+            for trace in test.iter().take(4) {
+                let r = engine.protect_user(trace);
+                if let crate::ProtectionOutcome::FineGrained { stats, .. } = &r.outcome {
+                    assert_eq!(
+                        stats.records_published + stats.records_dropped,
+                        trace.len(),
+                        "{strategy}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_lppm_engine_enumerates_the_full_space() {
+        // extending the base set with a 4th LPPM (the paper's §6
+        // extension hook) grows |C| to Σ 4!/(4-i)! = 64
+        let (bg, test) = mini_world();
+        let base = MoodEngine::paper_default(&bg);
+        let mut lppms = base.lppms().to_vec();
+        lppms.push(Arc::new(mood_lppm::SpatialCloaking::from_background(
+            &bg, 800.0,
+        )));
+        let engine = MoodEngine::new(base.shared_suite(), lppms, MoodConfig::paper_default());
+        assert_eq!(engine.lppms().len(), 4);
+        assert_eq!(engine.lppms().len() + engine.compositions().len(), 64);
+        // and the bigger search space still produces resilient output
+        let trace = test.iter().next().unwrap();
+        let r = engine.protect_user(trace);
+        for p in r.outcome.published() {
+            assert!(engine.suite().protects(&p.trace, trace.user()));
+        }
+    }
+
+    #[test]
+    fn user_ids_preserved_in_outcomes() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        let trace = test.iter().next().unwrap();
+        let r = engine.protect_user(trace);
+        assert_eq!(r.user, trace.user());
+        for p in r.outcome.published() {
+            assert_eq!(p.trace.user(), trace.user());
+        }
+        assert_ne!(r.user, UserId::new(999_999));
+    }
+}

@@ -1,0 +1,201 @@
+use serde::{Deserialize, Serialize};
+
+use mood_models::PoiExtractor;
+use mood_trace::{Timestamp, Trace};
+
+/// How the fine-grained stage splits a still-vulnerable trace
+/// (Algorithm 1 line 28).
+///
+/// The paper uses [`SplitStrategy::Halving`] and names the other two as
+/// future work (§6: "a mobility trace can be split by inter-POIs or
+/// according to time gaps"); all three are implemented and compared in
+/// the `exp_ablation` binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SplitStrategy {
+    /// Cut at the temporal midpoint (the paper's `Split_in_half`).
+    #[default]
+    Halving,
+    /// Cut at the largest recording gap (night pauses, phone-off
+    /// periods); falls back to halving when the trace has no interior
+    /// gap. Gap cuts separate naturally disjoint mobility episodes.
+    LargestGap,
+    /// Cut between two consecutive stays (inter-POI travel), choosing
+    /// the boundary closest to the temporal midpoint; falls back to
+    /// halving when fewer than two stays exist. POI-boundary cuts keep
+    /// each dwell intact while separating the discriminative
+    /// POI-transition patterns.
+    InterPoi,
+}
+
+impl SplitStrategy {
+    /// Splits `trace` into two non-empty halves according to the
+    /// strategy, or `None` when no valid split exists (single-record or
+    /// single-instant traces).
+    pub fn split(&self, trace: &Trace) -> Option<(Trace, Trace)> {
+        let cut = match self {
+            SplitStrategy::Halving => None,
+            SplitStrategy::LargestGap => largest_gap_cut(trace),
+            SplitStrategy::InterPoi => inter_poi_cut(trace),
+        };
+        let (l, r) = match cut {
+            Some(t) => trace.split_at_time(t),
+            None => trace.split_in_half(),
+        };
+        match (l, r) {
+            (Some(l), Some(r)) => Some((l, r)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SplitStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SplitStrategy::Halving => "halving",
+            SplitStrategy::LargestGap => "largest-gap",
+            SplitStrategy::InterPoi => "inter-POI",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The instant just after the record preceding the largest interior gap;
+/// `None` when every record shares one timestamp.
+fn largest_gap_cut(trace: &Trace) -> Option<Timestamp> {
+    let rs = trace.records();
+    let mut best_gap = 0i64;
+    let mut cut = None;
+    for pair in rs.windows(2) {
+        let gap = pair[1].time().since(pair[0].time()).as_secs();
+        if gap > best_gap {
+            best_gap = gap;
+            cut = Some(pair[1].time());
+        }
+    }
+    cut.filter(|_| best_gap > 0)
+}
+
+/// The stay boundary nearest the temporal midpoint: the instant between
+/// the end of one stay and the start of the next.
+fn inter_poi_cut(trace: &Trace) -> Option<Timestamp> {
+    let stays = PoiExtractor::paper_default().extract_stays(trace);
+    if stays.len() < 2 {
+        return None;
+    }
+    let mid = Timestamp::midpoint(trace.start_time(), trace.end_time());
+    stays
+        .windows(2)
+        .map(|pair| Timestamp::midpoint(pair[0].end, pair[1].start))
+        .min_by_key(|t| t.since(mid).abs())
+        // the cut must be interior to produce two non-empty halves
+        .filter(|t| *t > trace.start_time() && *t <= trace.end_time())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_geo::GeoPoint;
+    use mood_trace::{Record, TimeDelta, UserId};
+
+    fn rec(lat: f64, lng: f64, t: i64) -> Record {
+        Record::new(GeoPoint::new(lat, lng).unwrap(), Timestamp::from_unix(t))
+    }
+
+    /// Morning block, 6 h gap, evening block.
+    fn gapped_trace() -> Trace {
+        let mut records: Vec<Record> = (0..12).map(|i| rec(46.2, 6.1, i * 600)).collect();
+        let evening = 12 * 600 + 6 * 3600;
+        records.extend((0..12).map(|i| rec(46.25, 6.18, evening + i * 600)));
+        Trace::new(UserId::new(1), records).unwrap()
+    }
+
+    #[test]
+    fn halving_balances_record_counts() {
+        let t = gapped_trace();
+        let (l, r) = SplitStrategy::Halving.split(&t).unwrap();
+        assert_eq!(l.len() + r.len(), t.len());
+        assert!(l.end_time() < r.start_time());
+    }
+
+    #[test]
+    fn largest_gap_cuts_at_the_gap() {
+        let t = gapped_trace();
+        let (l, r) = SplitStrategy::LargestGap.split(&t).unwrap();
+        assert_eq!(l.len(), 12, "morning block intact");
+        assert_eq!(r.len(), 12, "evening block intact");
+        // the gap between halves is the 6 h pause
+        assert!(r.start_time().since(l.end_time()) >= TimeDelta::from_hours(5));
+    }
+
+    #[test]
+    fn inter_poi_separates_stays() {
+        let t = gapped_trace();
+        let (l, r) = SplitStrategy::InterPoi.split(&t).unwrap();
+        // each half contains one dwell place
+        let spread = |tr: &Trace| {
+            let bb = tr.bounding_box();
+            bb.height_m().max(bb.width_m())
+        };
+        assert!(spread(&l) < 500.0, "left half spans {} m", spread(&l));
+        assert!(spread(&r) < 500.0, "right half spans {} m", spread(&r));
+    }
+
+    #[test]
+    fn gap_strategy_falls_back_on_uniform_trace() {
+        let records: Vec<Record> = (0..10).map(|i| rec(46.2, 6.1, i * 600)).collect();
+        let t = Trace::new(UserId::new(1), records).unwrap();
+        // uniform spacing: every gap equal, strategy still splits
+        let (l, r) = SplitStrategy::LargestGap.split(&t).unwrap();
+        assert_eq!(l.len() + r.len(), 10);
+    }
+
+    #[test]
+    fn inter_poi_falls_back_without_stays() {
+        // constantly moving: no stays -> halving fallback
+        let records: Vec<Record> = (0..20)
+            .map(|i| rec(46.0 + i as f64 * 0.01, 6.0, i * 600))
+            .collect();
+        let t = Trace::new(UserId::new(1), records).unwrap();
+        let (l, r) = SplitStrategy::InterPoi.split(&t).unwrap();
+        assert_eq!(l.len() + r.len(), 20);
+    }
+
+    #[test]
+    fn single_record_is_unsplittable() {
+        let t = Trace::new(UserId::new(1), vec![rec(46.2, 6.1, 0)]).unwrap();
+        for strategy in [
+            SplitStrategy::Halving,
+            SplitStrategy::LargestGap,
+            SplitStrategy::InterPoi,
+        ] {
+            assert!(strategy.split(&t).is_none(), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn splits_preserve_all_records() {
+        let t = gapped_trace();
+        for strategy in [
+            SplitStrategy::Halving,
+            SplitStrategy::LargestGap,
+            SplitStrategy::InterPoi,
+        ] {
+            let (l, r) = strategy.split(&t).unwrap();
+            assert_eq!(l.len() + r.len(), t.len(), "{strategy}");
+            assert_eq!(l.user(), t.user());
+            assert_eq!(r.user(), t.user());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SplitStrategy::Halving.to_string(), "halving");
+        assert_eq!(SplitStrategy::LargestGap.to_string(), "largest-gap");
+        assert_eq!(SplitStrategy::InterPoi.to_string(), "inter-POI");
+    }
+
+    #[test]
+    fn default_is_the_papers_halving() {
+        assert_eq!(SplitStrategy::default(), SplitStrategy::Halving);
+    }
+}

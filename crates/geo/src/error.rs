@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Error type for geographic operations.
+///
+/// Every validating constructor in this crate returns `GeoError` on bad
+/// input instead of panicking, so callers can surface configuration errors
+/// (for example a mis-typed bounding box in an experiment preset) cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// Latitude outside the [-90, 90] degree range, or not finite.
+    InvalidLatitude(f64),
+    /// Longitude outside the [-180, 180] degree range, or not finite.
+    InvalidLongitude(f64),
+    /// A bounding box whose minimum exceeds its maximum on some axis.
+    InvalidBoundingBox {
+        /// Requested minimum latitude.
+        min_lat: f64,
+        /// Requested maximum latitude.
+        max_lat: f64,
+        /// Requested minimum longitude.
+        min_lng: f64,
+        /// Requested maximum longitude.
+        max_lng: f64,
+    },
+    /// A grid cell size that is zero, negative or not finite.
+    InvalidCellSize(f64),
+    /// A distance argument that is negative or not finite.
+    InvalidDistance(f64),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => {
+                write!(f, "latitude {v} is outside [-90, 90] or not finite")
+            }
+            GeoError::InvalidLongitude(v) => {
+                write!(f, "longitude {v} is outside [-180, 180] or not finite")
+            }
+            GeoError::InvalidBoundingBox {
+                min_lat,
+                max_lat,
+                min_lng,
+                max_lng,
+            } => write!(
+                f,
+                "invalid bounding box: lat [{min_lat}, {max_lat}], lng [{min_lng}, {max_lng}]"
+            ),
+            GeoError::InvalidCellSize(v) => {
+                write!(f, "cell size {v} must be positive and finite")
+            }
+            GeoError::InvalidDistance(v) => {
+                write!(f, "distance {v} must be non-negative and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            GeoError::InvalidLatitude(99.0),
+            GeoError::InvalidLongitude(-200.0),
+            GeoError::InvalidBoundingBox {
+                min_lat: 1.0,
+                max_lat: 0.0,
+                min_lng: 0.0,
+                max_lng: 1.0,
+            },
+            GeoError::InvalidCellSize(0.0),
+            GeoError::InvalidDistance(-1.0),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeoError>();
+    }
+}

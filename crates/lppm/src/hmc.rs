@@ -1,0 +1,340 @@
+use std::collections::BTreeMap;
+
+use rand::{Rng, RngCore};
+
+use mood_geo::{CellId, Grid};
+use mood_models::Heatmap;
+use mood_trace::{Dataset, Trace, UserId};
+
+use crate::Lppm;
+
+/// HeatMap Confusion (Maouche et al. 2018, the paper's \[23\]): the LPPM
+/// designed specifically against re-identification attacks.
+///
+/// HMC represents the trace as a heatmap, alters it to *look like another
+/// user's* (the **decoy**), and materializes the altered heatmap back
+/// into a trace. Our rendition (design rationale in DESIGN.md):
+///
+/// 1. the decoy is the background user whose heatmap has the smallest
+///    Topsoe divergence from the trace's own heatmap (most confusable
+///    profile, which also minimizes utility loss);
+/// 2. cells are remapped by **rank matching**: the trace's k-th hottest
+///    cell maps to the decoy's k-th hottest cell, preserving the shape of
+///    the frequency distribution;
+/// 3. the trace is rebuilt run by run: each maximal run of consecutive
+///    records in one cell moves to the mapped cell with probability
+///    `confusion` (keeping its in-cell offsets), or stays in place.
+///    Whole runs move together so dwell/trajectory structure survives —
+///    and the residual own-structure is exactly why HMC is not a silver
+///    bullet against POI-based attacks (paper Fig. 7).
+///
+/// The paper configures HMC with 800 m cells, matching the original
+/// HMC paper (§4.1.2).
+///
+/// # Examples
+///
+/// ```
+/// use mood_lppm::{Hmc, Lppm};
+/// use mood_synth::presets;
+/// use mood_trace::TimeDelta;
+/// use rand::SeedableRng;
+///
+/// let ds = presets::privamov_like().scaled(0.15).generate();
+/// let (background, test) = ds.split_chronological(TimeDelta::from_days(15));
+/// let hmc = Hmc::paper_default(&background);
+/// let trace = test.iter().next().unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let protected = hmc.protect(trace, &mut rng);
+/// assert_eq!(protected.len(), trace.len());
+/// ```
+pub struct Hmc {
+    grid: Grid,
+    population: Vec<(UserId, Heatmap)>,
+    confusion: f64,
+}
+
+impl Hmc {
+    /// Creates an HMC mechanism over `grid`, imitating profiles drawn
+    /// from `background` (the same background knowledge the attacks
+    /// train on — MooD's system model gives the protector access to past
+    /// traces, §3.1).
+    ///
+    /// `confusion` is the probability that a cell-run is remapped
+    /// (1.0 = move everything; the original system's utility constraints
+    /// leave residual structure, modeled by values < 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `background` is empty or `confusion ∉ [0, 1]`.
+    pub fn new(grid: Grid, background: &Dataset, confusion: f64) -> Self {
+        assert!(!background.is_empty(), "HMC needs a background population");
+        assert!(
+            (0.0..=1.0).contains(&confusion),
+            "confusion must be in [0, 1]"
+        );
+        let population = background
+            .iter()
+            .map(|t| (t.user(), Heatmap::from_trace(&grid, t)))
+            .collect();
+        Self {
+            grid,
+            population,
+            confusion,
+        }
+    }
+
+    /// The paper's configuration: 800 m cells over the background's
+    /// extent, confusion 0.55 (calibrated so HMC's residual own-structure
+    /// leaves roughly the paper's share of users exposed to POI/PIT
+    /// attacks — the original HMC's utility constraints have the same
+    /// effect).
+    pub fn paper_default(background: &Dataset) -> Self {
+        let bbox = background
+            .bounding_box()
+            .expect("non-empty background")
+            .expanded(2_000.0)
+            .expect("non-negative margin");
+        let grid = Grid::new(bbox, 800.0).expect("valid cell size");
+        Self::new(grid, background, 0.55)
+    }
+
+    /// The grid the heatmaps live on.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The decoy for `trace`: the background user (≠ the trace's user)
+    /// whose profile is Topsoe-closest to the trace's heatmap. `None`
+    /// when the only background user is the trace's own.
+    pub fn choose_decoy(&self, trace: &Trace) -> Option<(UserId, &Heatmap)> {
+        let own = Heatmap::from_trace(&self.grid, trace);
+        self.population
+            .iter()
+            .filter(|(u, _)| *u != trace.user())
+            .map(|(u, hm)| (*u, hm, own.topsoe(hm).unwrap_or(f64::INFINITY)))
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite or inf"))
+            .map(|(u, hm, _)| (u, hm))
+    }
+
+    /// The rank-matching cell map from `own` onto `decoy`: own k-th
+    /// hottest cell → decoy k-th hottest cell (wrapping when the decoy
+    /// has fewer cells).
+    fn rank_map(own: &Heatmap, decoy: &Heatmap) -> BTreeMap<CellId, CellId> {
+        let own_ranked = own.ranked_cells();
+        let decoy_ranked = decoy.ranked_cells();
+        let mut map = BTreeMap::new();
+        if decoy_ranked.is_empty() {
+            return map;
+        }
+        for (k, (cell, _)) in own_ranked.iter().enumerate() {
+            let target = decoy_ranked[k % decoy_ranked.len()].0;
+            map.insert(*cell, target);
+        }
+        map
+    }
+}
+
+impl Lppm for Hmc {
+    fn name(&self) -> &str {
+        "HMC"
+    }
+
+    fn protect(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace {
+        let Some((_, decoy_hm)) = self.choose_decoy(trace) else {
+            // No decoy available (single-user population): nothing to
+            // imitate; return the trace unchanged.
+            return trace.clone();
+        };
+        let own = Heatmap::from_trace(&self.grid, trace);
+        let map = Self::rank_map(&own, decoy_hm);
+
+        let mut records = Vec::with_capacity(trace.len());
+        let mut i = 0;
+        let rs = trace.records();
+        while i < rs.len() {
+            // maximal run of consecutive records in the same cell
+            let cell = self.grid.cell_of(&rs[i].point());
+            let mut j = i + 1;
+            while j < rs.len() && self.grid.cell_of(&rs[j].point()) == cell {
+                j += 1;
+            }
+            let move_run = rng.gen::<f64>() < self.confusion;
+            let target = map.get(&cell).copied().unwrap_or(cell);
+            for r in &rs[i..j] {
+                if move_run && target != cell {
+                    let (fy, fx) = self.grid.fraction_in_cell(&r.point());
+                    records.push(r.with_point(self.grid.point_in_cell(target, fy, fx)));
+                } else {
+                    records.push(*r);
+                }
+            }
+            i = j;
+        }
+        Trace::new(trace.user(), records).expect("same cardinality as input")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_geo::GeoPoint;
+    use mood_trace::{Record, TimeDelta, Timestamp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rec(lat: f64, lng: f64, t: i64) -> Record {
+        Record::new(GeoPoint::new(lat, lng).unwrap(), Timestamp::from_unix(t))
+    }
+
+    fn dwell_trace(user: u64, lat: f64, lng: f64, n: i64) -> Trace {
+        let records: Vec<Record> = (0..n).map(|i| rec(lat, lng, i * 600)).collect();
+        Trace::new(UserId::new(user), records).unwrap()
+    }
+
+    fn background() -> Dataset {
+        Dataset::from_traces([
+            dwell_trace(1, 46.16, 6.06, 60),
+            dwell_trace(2, 46.25, 6.20, 60),
+            dwell_trace(3, 46.20, 6.12, 60),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn preserves_cardinality_and_timestamps() {
+        let hmc = Hmc::paper_default(&background());
+        let t = dwell_trace(1, 46.161, 6.061, 40);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = hmc.protect(&t, &mut rng);
+        assert_eq!(p.len(), t.len());
+        for (a, b) in t.records().iter().zip(p.records()) {
+            assert_eq!(a.time(), b.time());
+        }
+    }
+
+    #[test]
+    fn decoy_is_nearest_other_profile() {
+        let hmc = Hmc::paper_default(&background());
+        // user 1's trace: nearest other profile is user 3 (8 km away)
+        // rather than user 2 (~14 km)... with disjoint supports Topsoe
+        // saturates, so any non-self decoy is acceptable; assert non-self.
+        let t = dwell_trace(1, 46.161, 6.061, 40);
+        let (decoy, _) = hmc.choose_decoy(&t).unwrap();
+        assert_ne!(decoy, UserId::new(1));
+    }
+
+    #[test]
+    fn decoy_prefers_overlapping_profile() {
+        // user 9's background overlaps user 1's cell exactly
+        let mut bg = background();
+        bg.insert(dwell_trace(9, 46.1601, 6.0601, 60)).unwrap();
+        let hmc = Hmc::paper_default(&bg);
+        let t = dwell_trace(1, 46.1602, 6.0602, 40);
+        let (decoy, _) = hmc.choose_decoy(&t).unwrap();
+        assert_eq!(decoy, UserId::new(9));
+    }
+
+    #[test]
+    fn full_confusion_moves_all_mass_to_decoy_cells() {
+        let bg = background();
+        let bbox = bg.bounding_box().unwrap().expanded(2_000.0).unwrap();
+        let grid = Grid::new(bbox, 800.0).unwrap();
+        let hmc = Hmc::new(grid.clone(), &bg, 1.0);
+        let t = dwell_trace(1, 46.161, 6.061, 40);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = hmc.protect(&t, &mut rng);
+        let (decoy, decoy_hm) = hmc.choose_decoy(&t).unwrap();
+        assert_ne!(decoy, UserId::new(1));
+        // every protected record lands in a decoy-occupied cell
+        let decoy_cells: std::collections::BTreeSet<CellId> =
+            decoy_hm.cells().keys().copied().collect();
+        for r in p.records() {
+            assert!(decoy_cells.contains(&grid.cell_of(&r.point())));
+        }
+    }
+
+    #[test]
+    fn zero_confusion_is_identity() {
+        let bg = background();
+        let bbox = bg.bounding_box().unwrap().expanded(2_000.0).unwrap();
+        let grid = Grid::new(bbox, 800.0).unwrap();
+        let hmc = Hmc::new(grid, &bg, 0.0);
+        let t = dwell_trace(1, 46.161, 6.061, 40);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(hmc.protect(&t, &mut rng), t);
+    }
+
+    #[test]
+    fn single_user_population_returns_unchanged() {
+        let bg = Dataset::from_traces([dwell_trace(1, 46.16, 6.06, 60)]).unwrap();
+        let hmc = Hmc::paper_default(&bg);
+        let t = dwell_trace(1, 46.161, 6.061, 40);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(hmc.protect(&t, &mut rng), t);
+        assert!(hmc.choose_decoy(&t).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let hmc = Hmc::paper_default(&background());
+        let t = dwell_trace(1, 46.161, 6.061, 40);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        assert_eq!(hmc.protect(&t, &mut r1), hmc.protect(&t, &mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "background")]
+    fn rejects_empty_background() {
+        Hmc::paper_default(&Dataset::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "confusion must be")]
+    fn rejects_bad_confusion() {
+        let bg = background();
+        let bbox = bg.bounding_box().unwrap();
+        let grid = Grid::new(bbox, 800.0).unwrap();
+        Hmc::new(grid, &bg, 1.5);
+    }
+
+    #[test]
+    fn confuses_ap_style_matching_on_synthetic_data() {
+        use mood_synth::presets;
+        let ds = presets::privamov_like().scaled(0.2).generate();
+        let (bg, test) = ds.split_chronological(TimeDelta::from_days(15));
+        let hmc = Hmc::paper_default(&bg);
+        let grid = hmc.grid().clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        // count how many users' protected traces are still closest to
+        // their own background heatmap
+        let profiles: Vec<(UserId, Heatmap)> = bg
+            .iter()
+            .map(|t| (t.user(), Heatmap::from_trace(&grid, t)))
+            .collect();
+        let mut own_wins = 0;
+        let mut total = 0;
+        for trace in test.iter() {
+            let p = hmc.protect(trace, &mut rng);
+            let anon = Heatmap::from_trace(&grid, &p);
+            let best = profiles
+                .iter()
+                .min_by(|a, b| {
+                    anon.topsoe(&a.1)
+                        .unwrap()
+                        .partial_cmp(&anon.topsoe(&b.1).unwrap())
+                        .unwrap()
+                })
+                .unwrap();
+            total += 1;
+            if best.0 == trace.user() {
+                own_wins += 1;
+            }
+        }
+        // HMC should defeat heatmap matching for the clear majority
+        assert!(
+            own_wins * 3 <= total,
+            "HMC left {own_wins}/{total} users re-identifiable by heatmap"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Location Privacy Protection Mechanisms (paper §2.3 and §4.1.2).
+//!
+//! An LPPM transforms a raw mobility trace into an obfuscated one:
+//!
+//! ```text
+//! L : (R² × R⁺)* → (R² × R⁺)*,   T ↦ L(Υ, T) = T'
+//! ```
+//!
+//! Three representative mechanisms are implemented with the paper's
+//! configuration:
+//!
+//! * [`GeoI`] — Geo-indistinguishability (Andrés et al. 2013): planar
+//!   Laplace noise per record, ε = 0.01 m⁻¹ ("medium privacy");
+//! * [`Trl`] — Trilateration dummies (Huang et al. 2018): each record is
+//!   replaced by 3 assisted locations within r = 1 km; the [`lss`] module
+//!   demonstrates the accurate-service property (exact distance recovery
+//!   by trilateration);
+//! * [`Hmc`] — HeatMap Confusion (Maouche et al. 2018): the trace's
+//!   heatmap is made to look like another user's (the *decoy*) by
+//!   rank-matched cell remapping, then re-materialized as a trace.
+//!
+//! Beyond the paper's evaluated set, [`SpatialCloaking`] implements the
+//! generalization family (k-anonymity-style cell snapping) — the
+//! extension hook the paper names in §6.
+//!
+//! [`Composition`] applies several LPPMs in sequence (function
+//! composition, Eq. 3) and [`enumerate_compositions`] generates the full
+//! search space `C` of MooD's Multi-LPPM Composition Search
+//! (|C| = Σᵢ n!/(n−i)! = 15 for n = 3).
+//!
+//! Every mechanism is deterministic given its RNG, so whole experiment
+//! runs reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cloaking;
+mod composition;
+mod geo_i;
+mod hmc;
+pub mod lss;
+mod trl;
+
+pub use cloaking::SpatialCloaking;
+pub use composition::{composition_space_size, enumerate_compositions, Composition};
+pub use geo_i::GeoI;
+pub use hmc::Hmc;
+pub use trl::Trl;
+
+use std::sync::Arc;
+
+use rand::RngCore;
+
+use mood_trace::Trace;
+
+/// A Location Privacy Protection Mechanism.
+///
+/// Implementations must be deterministic given the RNG: calling
+/// [`Lppm::protect`] with an identically-seeded RNG must produce an
+/// identical trace. The output trace keeps the input's user ID (the
+/// ground truth MooD evaluates against).
+pub trait Lppm: Send + Sync {
+    /// Short mechanism name ("Geo-I", "TRL", "HMC", or a composition
+    /// chain like "HMC→Geo-I").
+    fn name(&self) -> &str;
+
+    /// Produces the obfuscated version of `trace`.
+    fn protect(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace;
+}
+
+impl<T: Lppm + ?Sized> Lppm for Arc<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn protect(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace {
+        (**self).protect(trace, rng)
+    }
+}

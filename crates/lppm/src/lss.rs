@@ -1,0 +1,194 @@
+//! Location Searching Service (LSS) demo: the accurate-service property
+//! of TRL.
+//!
+//! TRL's selling point (paper §4.1.2 and \[18\]) is that privacy costs the
+//! *user* nothing in result quality: the LSS answers nearest-place
+//! queries for the three assisted locations, and the client recovers the
+//! exact distance from its true position by trilateration. This module
+//! implements both sides:
+//!
+//! * [`LocationSearchService`] — a toy server answering "distance to the
+//!   nearest place" queries for arbitrary query points;
+//! * [`trilaterate`] — the client-side solver recovering a true position
+//!   (or unknown place location) from three anchors and their distances.
+//!
+//! # Examples
+//!
+//! ```
+//! use mood_geo::GeoPoint;
+//! use mood_lppm::lss::{trilaterate, LocationSearchService};
+//! use mood_lppm::Trl;
+//! use rand::SeedableRng;
+//!
+//! let restaurant = GeoPoint::new(46.205, 6.145)?;
+//! let service = LocationSearchService::new(vec![restaurant]);
+//!
+//! let me = GeoPoint::new(46.2001, 6.1402)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let assisted = Trl::paper_default().assisted_locations(&me, &mut rng);
+//!
+//! // the server sees only assisted locations, never `me`
+//! let distances = assisted.map(|l| service.nearest_distance(&l).unwrap());
+//! let recovered = trilaterate(&assisted, &distances).unwrap();
+//! // recovered = the restaurant's position, from which the client
+//! // computes its exact distance
+//! assert!(recovered.haversine_distance(&restaurant) < 5.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use mood_geo::{GeoPoint, LocalProjection};
+
+/// A toy location-searching service: a set of places answering
+/// nearest-place distance queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationSearchService {
+    places: Vec<GeoPoint>,
+}
+
+impl LocationSearchService {
+    /// Creates a service over a set of places (restaurants, gas
+    /// stations, ...).
+    pub fn new(places: Vec<GeoPoint>) -> Self {
+        Self { places }
+    }
+
+    /// The places the service knows about.
+    pub fn places(&self) -> &[GeoPoint] {
+        &self.places
+    }
+
+    /// The place nearest to `query`, or `None` for an empty service.
+    pub fn nearest_place(&self, query: &GeoPoint) -> Option<GeoPoint> {
+        self.places
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                query
+                    .approx_distance(a)
+                    .partial_cmp(&query.approx_distance(b))
+                    .expect("distances are finite")
+            })
+    }
+
+    /// Distance in meters from `query` to the nearest place, or `None`
+    /// for an empty service.
+    pub fn nearest_distance(&self, query: &GeoPoint) -> Option<f64> {
+        self.nearest_place(query)
+            .map(|p| query.haversine_distance(&p))
+    }
+}
+
+/// Recovers the point at the given `distances` from three `anchors` by
+/// trilateration (solving the two linearized circle-difference
+/// equations in a local tangent frame).
+///
+/// Returns `None` when the anchors are (nearly) collinear or the
+/// distances are inconsistent — callers should resample assisted
+/// locations in that case.
+pub fn trilaterate(anchors: &[GeoPoint; 3], distances: &[f64; 3]) -> Option<GeoPoint> {
+    if distances.iter().any(|d| !d.is_finite() || *d < 0.0) {
+        return None;
+    }
+    let proj = LocalProjection::new(anchors[0]);
+    let (x1, y1) = (0.0, 0.0);
+    let (x2, y2) = proj.to_local(&anchors[1]);
+    let (x3, y3) = proj.to_local(&anchors[2]);
+    let (d1, d2, d3) = (distances[0], distances[1], distances[2]);
+
+    // Subtracting circle equations pairwise gives a linear system:
+    //   2(x2-x1) x + 2(y2-y1) y = d1² - d2² + x2² + y2²
+    //   2(x3-x1) x + 2(y3-y1) y = d1² - d3² + x3² + y3²
+    let a11 = 2.0 * (x2 - x1);
+    let a12 = 2.0 * (y2 - y1);
+    let a21 = 2.0 * (x3 - x1);
+    let a22 = 2.0 * (y3 - y1);
+    let b1 = d1 * d1 - d2 * d2 + x2 * x2 + y2 * y2;
+    let b2 = d1 * d1 - d3 * d3 + x3 * x3 + y3 * y3;
+
+    let det = a11 * a22 - a12 * a21;
+    if det.abs() < 1e-6 {
+        return None; // collinear anchors
+    }
+    let x = (b1 * a22 - b2 * a12) / det;
+    let y = (a11 * b2 - a21 * b1) / det;
+    Some(proj.to_geo(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trl;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(lat: f64, lng: f64) -> GeoPoint {
+        GeoPoint::new(lat, lng).unwrap()
+    }
+
+    #[test]
+    fn trilateration_recovers_known_point() {
+        let target = p(46.21, 6.13);
+        let anchors = [p(46.20, 6.10), p(46.25, 6.16), p(46.17, 6.18)];
+        let distances = [
+            anchors[0].haversine_distance(&target),
+            anchors[1].haversine_distance(&target),
+            anchors[2].haversine_distance(&target),
+        ];
+        let rec = trilaterate(&anchors, &distances).unwrap();
+        assert!(rec.haversine_distance(&target) < 5.0);
+    }
+
+    #[test]
+    fn collinear_anchors_rejected() {
+        let anchors = [p(46.20, 6.10), p(46.21, 6.10), p(46.22, 6.10)];
+        assert!(trilaterate(&anchors, &[100.0, 100.0, 100.0]).is_none());
+    }
+
+    #[test]
+    fn negative_distance_rejected() {
+        let anchors = [p(46.20, 6.10), p(46.25, 6.16), p(46.17, 6.18)];
+        assert!(trilaterate(&anchors, &[100.0, -5.0, 100.0]).is_none());
+    }
+
+    #[test]
+    fn nearest_place_queries() {
+        let service = LocationSearchService::new(vec![p(46.21, 6.13), p(46.30, 6.30)]);
+        let q = p(46.20, 6.12);
+        assert_eq!(service.nearest_place(&q), Some(p(46.21, 6.13)));
+        assert!(service.nearest_distance(&q).unwrap() < 2_000.0);
+    }
+
+    #[test]
+    fn empty_service_returns_none() {
+        let service = LocationSearchService::new(vec![]);
+        assert!(service.nearest_place(&p(46.2, 6.1)).is_none());
+        assert!(service.nearest_distance(&p(46.2, 6.1)).is_none());
+    }
+
+    #[test]
+    fn end_to_end_private_query_is_accurate() {
+        // the full TRL protocol: user never reveals `me`, still gets the
+        // exact nearest place
+        let place = p(46.205, 6.145);
+        let service = LocationSearchService::new(vec![place]);
+        let me = p(46.2001, 6.1402);
+        let trl = Trl::paper_default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let anchors = trl.assisted_locations(&me, &mut rng);
+            let ds = [
+                service.nearest_distance(&anchors[0]).unwrap(),
+                service.nearest_distance(&anchors[1]).unwrap(),
+                service.nearest_distance(&anchors[2]).unwrap(),
+            ];
+            if let Some(rec) = trilaterate(&anchors, &ds) {
+                let err = rec.haversine_distance(&place);
+                assert!(err < 10.0, "recovered place off by {err} m");
+                // exact private distance:
+                let true_d = me.haversine_distance(&place);
+                let est_d = me.haversine_distance(&rec);
+                assert!((true_d - est_d).abs() < 10.0);
+            }
+        }
+    }
+}

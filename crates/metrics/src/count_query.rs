@@ -1,0 +1,182 @@
+use serde::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+use mood_geo::{CellId, Grid};
+use mood_trace::Dataset;
+
+/// Cell-count utility of a protected dataset for count-query analyses.
+///
+/// The paper motivates fine-grained protection with crowd-sensing count
+/// queries ("for traffic congestion analysis ... the length of each
+/// sub-trace is not important to count the presence of users in
+/// particular places", §3.4). This metric quantifies how well the
+/// protected dataset preserves per-cell record counts:
+///
+/// * `mean_absolute_error` — mean |original − protected| count over the
+///   union of occupied cells;
+/// * `cell_recall` / `cell_precision` / `cell_f1` — set overlap between
+///   occupied cells;
+/// * `weighted_jaccard` — Σ min(o, p) / Σ max(o, p) over cells, a mass-
+///   sensitive overlap in `[0, 1]` (1 = identical count maps).
+///
+/// # Examples
+///
+/// ```
+/// use mood_geo::{BoundingBox, Grid};
+/// use mood_metrics::CountQueryStats;
+/// use mood_synth::presets;
+///
+/// let ds = presets::privamov_like().scaled(0.1).generate();
+/// let grid = Grid::new(ds.bounding_box().unwrap(), 800.0)?;
+/// let stats = CountQueryStats::compare(&grid, &ds, &ds);
+/// assert_eq!(stats.mean_absolute_error, 0.0);
+/// assert_eq!(stats.weighted_jaccard, 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CountQueryStats {
+    /// Mean absolute per-cell count error.
+    pub mean_absolute_error: f64,
+    /// Share of originally occupied cells still occupied after protection.
+    pub cell_recall: f64,
+    /// Share of protected-occupied cells that were originally occupied.
+    pub cell_precision: f64,
+    /// Harmonic mean of recall and precision.
+    pub cell_f1: f64,
+    /// Σ min / Σ max of per-cell counts, in `[0, 1]`.
+    pub weighted_jaccard: f64,
+}
+
+impl CountQueryStats {
+    /// Compares per-cell record counts of `protected` against `original`
+    /// over `grid`.
+    pub fn compare(grid: &Grid, original: &Dataset, protected: &Dataset) -> Self {
+        let o = cell_counts(grid, original);
+        let p = cell_counts(grid, protected);
+
+        let mut abs_err = 0.0f64;
+        let mut min_sum = 0.0f64;
+        let mut max_sum = 0.0f64;
+        let mut union = 0usize;
+        let mut inter = 0usize;
+        let keys: std::collections::BTreeSet<CellId> =
+            o.keys().chain(p.keys()).copied().collect();
+        for k in &keys {
+            let ov = o.get(k).copied().unwrap_or(0.0);
+            let pv = p.get(k).copied().unwrap_or(0.0);
+            abs_err += (ov - pv).abs();
+            min_sum += ov.min(pv);
+            max_sum += ov.max(pv);
+            union += 1;
+            if ov > 0.0 && pv > 0.0 {
+                inter += 1;
+            }
+        }
+        let recall = if o.is_empty() {
+            1.0
+        } else {
+            inter as f64 / o.len() as f64
+        };
+        let precision = if p.is_empty() {
+            1.0
+        } else {
+            inter as f64 / p.len() as f64
+        };
+        let f1 = if recall + precision == 0.0 {
+            0.0
+        } else {
+            2.0 * recall * precision / (recall + precision)
+        };
+        CountQueryStats {
+            mean_absolute_error: if union == 0 { 0.0 } else { abs_err / union as f64 },
+            cell_recall: recall,
+            cell_precision: precision,
+            cell_f1: f1,
+            weighted_jaccard: if max_sum == 0.0 { 1.0 } else { min_sum / max_sum },
+        }
+    }
+}
+
+fn cell_counts(grid: &Grid, ds: &Dataset) -> BTreeMap<CellId, f64> {
+    let mut counts = BTreeMap::new();
+    for trace in ds.iter() {
+        for r in trace.records() {
+            *counts.entry(grid.cell_of(&r.point())).or_insert(0.0) += 1.0;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_geo::{BoundingBox, GeoPoint};
+    use mood_trace::{Record, Timestamp, Trace, UserId};
+
+    fn grid() -> Grid {
+        Grid::new(BoundingBox::new(46.1, 46.3, 6.0, 6.3).unwrap(), 800.0).unwrap()
+    }
+
+    fn dataset(points: &[(f64, f64)]) -> Dataset {
+        let records: Vec<Record> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat, lng))| {
+                Record::new(
+                    GeoPoint::new(lat, lng).unwrap(),
+                    Timestamp::from_unix(i as i64 * 60),
+                )
+            })
+            .collect();
+        Dataset::from_traces([Trace::new(UserId::new(1), records).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn identical_datasets_are_perfect() {
+        let ds = dataset(&[(46.15, 6.05), (46.25, 6.25), (46.25, 6.25)]);
+        let s = CountQueryStats::compare(&grid(), &ds, &ds);
+        assert_eq!(s.mean_absolute_error, 0.0);
+        assert_eq!(s.cell_f1, 1.0);
+        assert_eq!(s.weighted_jaccard, 1.0);
+    }
+
+    #[test]
+    fn disjoint_datasets_score_zero_overlap() {
+        let a = dataset(&[(46.15, 6.05)]);
+        let b = dataset(&[(46.25, 6.25)]);
+        let s = CountQueryStats::compare(&grid(), &a, &b);
+        assert_eq!(s.cell_f1, 0.0);
+        assert_eq!(s.weighted_jaccard, 0.0);
+        assert!(s.mean_absolute_error > 0.0);
+    }
+
+    #[test]
+    fn empty_protected_dataset() {
+        let a = dataset(&[(46.15, 6.05), (46.25, 6.25)]);
+        let empty = Dataset::new();
+        let s = CountQueryStats::compare(&grid(), &a, &empty);
+        assert_eq!(s.cell_recall, 0.0);
+        // no protected cells at all -> precision degenerates to 1
+        assert_eq!(s.cell_precision, 1.0);
+        assert_eq!(s.weighted_jaccard, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_between_zero_and_one() {
+        let a = dataset(&[(46.15, 6.05), (46.25, 6.25)]);
+        let b = dataset(&[(46.15, 6.05), (46.12, 6.27)]);
+        let s = CountQueryStats::compare(&grid(), &a, &b);
+        assert!(s.cell_f1 > 0.0 && s.cell_f1 < 1.0);
+        assert!(s.weighted_jaccard > 0.0 && s.weighted_jaccard < 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ds = dataset(&[(46.15, 6.05)]);
+        let s = CountQueryStats::compare(&grid(), &ds, &ds);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CountQueryStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,229 @@
+//! Divergences between sparse probability distributions.
+//!
+//! AP-Attack compares heatmaps with the **Topsoe divergence** (Endres &
+//! Schindelin 2003, the paper's \[13\]); Jensen–Shannon and KL are provided
+//! for completeness and for tests that cross-check Topsoe = 2·JS.
+//!
+//! Distributions are sparse maps from an ordered key to a non-negative
+//! mass; they do not need to be normalized — every function normalizes
+//! internally (empty or zero-mass distributions are rejected).
+
+use std::collections::BTreeMap;
+
+/// Natural log of 2; the maximum of the Topsoe divergence is `2 ln 2`.
+pub const LN_2: f64 = std::f64::consts::LN_2;
+
+fn total<K: Ord>(d: &BTreeMap<K, f64>) -> f64 {
+    d.values().sum()
+}
+
+/// Kullback–Leibler divergence `KL(P ‖ Q)` in nats.
+///
+/// Returns `f64::INFINITY` when `P` has mass on a key where `Q` has none
+/// (the standard convention), and `None` when either distribution is
+/// empty or has non-positive total mass.
+pub fn kl<K: Ord + Copy>(p: &BTreeMap<K, f64>, q: &BTreeMap<K, f64>) -> Option<f64> {
+    let (tp, tq) = (total(p), total(q));
+    if tp <= 0.0 || tq <= 0.0 {
+        return None;
+    }
+    let mut sum = 0.0;
+    for (k, &pv) in p {
+        if pv <= 0.0 {
+            continue;
+        }
+        let pv = pv / tp;
+        match q.get(k) {
+            Some(&qv) if qv > 0.0 => {
+                sum += pv * (pv / (qv / tq)).ln();
+            }
+            _ => return Some(f64::INFINITY),
+        }
+    }
+    Some(sum)
+}
+
+/// Jensen–Shannon divergence: `JS(P, Q) = ½ KL(P ‖ M) + ½ KL(Q ‖ M)` with
+/// `M = (P + Q)/2`. Always finite, symmetric, bounded by `ln 2`.
+///
+/// Returns `None` when either distribution is empty or has non-positive
+/// total mass.
+pub fn jensen_shannon<K: Ord + Copy>(
+    p: &BTreeMap<K, f64>,
+    q: &BTreeMap<K, f64>,
+) -> Option<f64> {
+    topsoe(p, q).map(|t| t / 2.0)
+}
+
+/// Topsoe divergence (the paper's heatmap distance, ref. \[13\]):
+///
+/// ```text
+/// T(P, Q) = Σ_k [ p ln(2p/(p+q)) + q ln(2q/(p+q)) ]
+/// ```
+///
+/// Symmetric, non-negative, zero iff `P = Q`, bounded by `2 ln 2`
+/// (reached when the supports are disjoint). Equal to `2·JS(P, Q)`.
+///
+/// Returns `None` when either distribution is empty or has non-positive
+/// total mass.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeMap;
+/// use mood_models::divergence::{topsoe, LN_2};
+///
+/// let p: BTreeMap<u32, f64> = [(0, 1.0)].into();
+/// let q: BTreeMap<u32, f64> = [(1, 1.0)].into();
+/// // disjoint supports -> maximum divergence 2 ln 2
+/// assert!((topsoe(&p, &q).unwrap() - 2.0 * LN_2).abs() < 1e-12);
+/// assert_eq!(topsoe(&p, &p).unwrap(), 0.0);
+/// ```
+pub fn topsoe<K: Ord + Copy>(p: &BTreeMap<K, f64>, q: &BTreeMap<K, f64>) -> Option<f64> {
+    let (tp, tq) = (total(p), total(q));
+    if tp <= 0.0 || tq <= 0.0 || !tp.is_finite() || !tq.is_finite() {
+        return None;
+    }
+    let mut sum = 0.0;
+    // Walk the union of supports; BTreeMap keys are ordered so a merge
+    // walk would be possible, but hash-free lookups keep this simple and
+    // the maps are small (hundreds of cells).
+    for (k, &pv) in p {
+        let pv = (pv / tp).max(0.0);
+        let qv = q.get(k).map_or(0.0, |&v| (v / tq).max(0.0));
+        if pv > 0.0 {
+            sum += pv * ((2.0 * pv) / (pv + qv)).ln();
+        }
+        if qv > 0.0 {
+            sum += qv * ((2.0 * qv) / (pv + qv)).ln();
+        }
+    }
+    // keys present only in q
+    for (k, &qv) in q {
+        if p.contains_key(k) {
+            continue;
+        }
+        let qv = (qv / tq).max(0.0);
+        if qv > 0.0 {
+            sum += qv * 2.0f64.ln();
+        }
+    }
+    Some(sum.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(pairs: &[(u32, f64)]) -> BTreeMap<u32, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn topsoe_identity_is_zero() {
+        let p = dist(&[(0, 0.3), (1, 0.7)]);
+        assert_eq!(topsoe(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn topsoe_symmetric() {
+        let p = dist(&[(0, 0.3), (1, 0.7)]);
+        let q = dist(&[(0, 0.6), (2, 0.4)]);
+        let d1 = topsoe(&p, &q).unwrap();
+        let d2 = topsoe(&q, &p).unwrap();
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topsoe_disjoint_supports_is_max() {
+        let p = dist(&[(0, 1.0)]);
+        let q = dist(&[(1, 1.0)]);
+        assert!((topsoe(&p, &q).unwrap() - 2.0 * LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topsoe_unnormalized_inputs_are_normalized() {
+        let p = dist(&[(0, 3.0), (1, 7.0)]);
+        let pn = dist(&[(0, 0.3), (1, 0.7)]);
+        let q = dist(&[(0, 5.0), (1, 5.0)]);
+        let d1 = topsoe(&p, &q).unwrap();
+        let d2 = topsoe(&pn, &q).unwrap();
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topsoe_rejects_empty() {
+        let p: BTreeMap<u32, f64> = BTreeMap::new();
+        let q = dist(&[(0, 1.0)]);
+        assert!(topsoe(&p, &q).is_none());
+        assert!(topsoe(&q, &p).is_none());
+    }
+
+    #[test]
+    fn topsoe_is_twice_js() {
+        let p = dist(&[(0, 0.5), (1, 0.2), (2, 0.3)]);
+        let q = dist(&[(0, 0.1), (1, 0.8), (3, 0.1)]);
+        let t = topsoe(&p, &q).unwrap();
+        let js = jensen_shannon(&p, &q).unwrap();
+        assert!((t - 2.0 * js).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = dist(&[(0, 0.4), (1, 0.6)]);
+        assert!(kl(&p, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_infinite_when_q_missing_support() {
+        let p = dist(&[(0, 0.5), (1, 0.5)]);
+        let q = dist(&[(0, 1.0)]);
+        assert_eq!(kl(&p, &q).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // KL between Bernoulli(0.5) and Bernoulli(0.25)
+        let p = dist(&[(0, 0.5), (1, 0.5)]);
+        let q = dist(&[(0, 0.25), (1, 0.75)]);
+        let expected = 0.5 * (0.5f64 / 0.25).ln() + 0.5 * (0.5f64 / 0.75).ln();
+        assert!((kl(&p, &q).unwrap() - expected).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_dist() -> impl Strategy<Value = BTreeMap<u32, f64>> {
+        proptest::collection::btree_map(0u32..20, 0.01f64..10.0, 1..15)
+    }
+
+    proptest! {
+        #[test]
+        fn topsoe_nonnegative_and_bounded(p in arb_dist(), q in arb_dist()) {
+            let t = topsoe(&p, &q).unwrap();
+            prop_assert!(t >= 0.0);
+            prop_assert!(t <= 2.0 * LN_2 + 1e-9, "t = {t}");
+        }
+
+        #[test]
+        fn topsoe_symmetry(p in arb_dist(), q in arb_dist()) {
+            let a = topsoe(&p, &q).unwrap();
+            let b = topsoe(&q, &p).unwrap();
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        #[test]
+        fn topsoe_self_is_zero(p in arb_dist()) {
+            prop_assert!(topsoe(&p, &p).unwrap() < 1e-12);
+        }
+
+        #[test]
+        fn js_bounded_by_ln2(p in arb_dist(), q in arb_dist()) {
+            let js = jensen_shannon(&p, &q).unwrap();
+            prop_assert!((0.0..=LN_2 + 1e-9).contains(&js));
+        }
+    }
+}

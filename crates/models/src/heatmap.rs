@@ -1,0 +1,306 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mood_geo::{CellId, GeoPoint, Grid};
+use mood_trace::Trace;
+
+use crate::divergence;
+
+/// A heatmap mobility profile: per-cell record counts over a
+/// [`Grid`] (paper Fig. 1, right; the model behind AP-Attack and HMC).
+///
+/// Counts are kept raw; all comparisons normalize internally, so heatmaps
+/// built from traces of different lengths compare correctly.
+///
+/// # Examples
+///
+/// ```
+/// use mood_geo::{BoundingBox, GeoPoint, Grid};
+/// use mood_trace::{Record, Timestamp, Trace, UserId};
+/// use mood_models::Heatmap;
+///
+/// let grid = Grid::new(BoundingBox::new(46.1, 46.3, 6.0, 6.3)?, 800.0)?;
+/// let records: Vec<Record> = (0..10)
+///     .map(|i| Record::new(GeoPoint::new(46.2, 6.1).unwrap(), Timestamp::from_unix(i * 60)))
+///     .collect();
+/// let trace = Trace::new(UserId::new(1), records)?;
+/// let hm = Heatmap::from_trace(&grid, &trace);
+/// assert_eq!(hm.total(), 10.0);
+/// assert_eq!(hm.cell_count(), 1);
+/// assert_eq!(hm.topsoe(&hm), Some(0.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(from = "HeatmapRepr", into = "HeatmapRepr")]
+pub struct Heatmap {
+    cells: BTreeMap<CellId, f64>,
+    total: f64,
+}
+
+/// Serialized form of [`Heatmap`]: cells as a list of pairs (JSON map keys
+/// must be strings); the total is recomputed on deserialization.
+#[derive(Serialize, Deserialize)]
+struct HeatmapRepr {
+    cells: Vec<(CellId, f64)>,
+}
+
+impl From<Heatmap> for HeatmapRepr {
+    fn from(h: Heatmap) -> Self {
+        HeatmapRepr {
+            cells: h.cells.into_iter().collect(),
+        }
+    }
+}
+
+impl From<HeatmapRepr> for Heatmap {
+    fn from(r: HeatmapRepr) -> Self {
+        let mut cells = BTreeMap::new();
+        let mut total = 0.0;
+        for (c, w) in r.cells {
+            let w = if w.is_finite() { w.max(0.0) } else { 0.0 };
+            *cells.entry(c).or_insert(0.0) += w;
+            total += w;
+        }
+        Heatmap { cells, total }
+    }
+}
+
+impl Heatmap {
+    /// An empty heatmap (no records).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the heatmap of a trace over `grid`. Records outside the
+    /// grid's bounding box are clamped to border cells (never dropped), so
+    /// `total()` always equals the trace length.
+    pub fn from_trace(grid: &Grid, trace: &Trace) -> Self {
+        Self::from_points(grid, trace.points())
+    }
+
+    /// Builds a heatmap from bare points.
+    pub fn from_points<I>(grid: &Grid, points: I) -> Self
+    where
+        I: IntoIterator<Item = GeoPoint>,
+    {
+        let mut cells: BTreeMap<CellId, f64> = BTreeMap::new();
+        let mut total = 0.0;
+        for p in points {
+            *cells.entry(grid.cell_of(&p)).or_insert(0.0) += 1.0;
+            total += 1.0;
+        }
+        Self { cells, total }
+    }
+
+    /// Adds `weight` mass to `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` is negative or not finite.
+    pub fn add(&mut self, cell: CellId, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be non-negative"
+        );
+        *self.cells.entry(cell).or_insert(0.0) += weight;
+        self.total += weight;
+    }
+
+    /// The raw per-cell counts, ordered by cell.
+    pub fn cells(&self) -> &BTreeMap<CellId, f64> {
+        &self.cells
+    }
+
+    /// Total mass (= number of records for trace-built heatmaps).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of distinct non-empty cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the heatmap holds no mass.
+    pub fn is_empty(&self) -> bool {
+        self.total <= 0.0
+    }
+
+    /// Probability mass of `cell` (0 when absent or the map is empty).
+    pub fn probability(&self, cell: CellId) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        self.cells.get(&cell).map_or(0.0, |c| c / self.total)
+    }
+
+    /// The `k` hottest cells with their counts, descending; ties broken by
+    /// cell order so the result is deterministic.
+    pub fn top_cells(&self, k: usize) -> Vec<(CellId, f64)> {
+        let mut v: Vec<(CellId, f64)> = self.cells.iter().map(|(&c, &w)| (c, w)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// All cells sorted hottest-first (the full ranking HMC's
+    /// rank-matching uses).
+    pub fn ranked_cells(&self) -> Vec<(CellId, f64)> {
+        self.top_cells(self.cells.len())
+    }
+
+    /// Topsoe divergence to `other` (see [`divergence::topsoe`]);
+    /// `None` when either heatmap is empty. This is AP-Attack's profile
+    /// distance.
+    pub fn topsoe(&self, other: &Heatmap) -> Option<f64> {
+        divergence::topsoe(&self.cells, &other.cells)
+    }
+
+    /// Element-wise sum of two heatmaps (used to pool background
+    /// knowledge).
+    pub fn merged(&self, other: &Heatmap) -> Heatmap {
+        let mut cells = self.cells.clone();
+        for (&c, &w) in &other.cells {
+            *cells.entry(c).or_insert(0.0) += w;
+        }
+        Heatmap {
+            cells,
+            total: self.total + other.total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_geo::BoundingBox;
+    use mood_trace::{Record, Timestamp, UserId};
+
+    fn grid() -> Grid {
+        Grid::new(BoundingBox::new(46.1, 46.3, 6.0, 6.3).unwrap(), 800.0).unwrap()
+    }
+
+    fn trace_at(points: &[(f64, f64)]) -> Trace {
+        let records: Vec<Record> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat, lng))| {
+                Record::new(
+                    GeoPoint::new(lat, lng).unwrap(),
+                    Timestamp::from_unix(i as i64 * 60),
+                )
+            })
+            .collect();
+        Trace::new(UserId::new(1), records).unwrap()
+    }
+
+    #[test]
+    fn from_trace_counts_every_record() {
+        let t = trace_at(&[(46.15, 6.05), (46.15, 6.05), (46.25, 6.25)]);
+        let hm = Heatmap::from_trace(&grid(), &t);
+        assert_eq!(hm.total(), 3.0);
+        assert_eq!(hm.cell_count(), 2);
+    }
+
+    #[test]
+    fn out_of_box_points_are_clamped_not_dropped() {
+        let t = trace_at(&[(46.15, 6.05), (50.0, 10.0)]);
+        let hm = Heatmap::from_trace(&grid(), &t);
+        assert_eq!(hm.total(), 2.0);
+    }
+
+    #[test]
+    fn probability_normalizes() {
+        let g = grid();
+        let t = trace_at(&[(46.15, 6.05), (46.15, 6.05), (46.25, 6.25), (46.25, 6.25)]);
+        let hm = Heatmap::from_trace(&g, &t);
+        let c = g.cell_of(&GeoPoint::new(46.15, 6.05).unwrap());
+        assert!((hm.probability(c) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_heatmap_behaviour() {
+        let hm = Heatmap::new();
+        assert!(hm.is_empty());
+        assert_eq!(hm.cell_count(), 0);
+        assert_eq!(hm.probability(CellId { row: 0, col: 0 }), 0.0);
+        assert!(hm.topsoe(&hm).is_none());
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut hm = Heatmap::new();
+        let c = CellId { row: 1, col: 2 };
+        hm.add(c, 2.0);
+        hm.add(c, 3.0);
+        assert_eq!(hm.total(), 5.0);
+        assert_eq!(hm.cells()[&c], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be non-negative")]
+    fn add_rejects_negative() {
+        Heatmap::new().add(CellId { row: 0, col: 0 }, -1.0);
+    }
+
+    #[test]
+    fn top_cells_descending_deterministic() {
+        let mut hm = Heatmap::new();
+        hm.add(CellId { row: 0, col: 0 }, 5.0);
+        hm.add(CellId { row: 1, col: 1 }, 10.0);
+        hm.add(CellId { row: 2, col: 2 }, 5.0);
+        let top = hm.top_cells(3);
+        assert_eq!(top[0].0, CellId { row: 1, col: 1 });
+        // tie between (0,0) and (2,2) broken by cell order
+        assert_eq!(top[1].0, CellId { row: 0, col: 0 });
+        assert_eq!(top[2].0, CellId { row: 2, col: 2 });
+    }
+
+    #[test]
+    fn topsoe_zero_for_identical_profiles() {
+        let t = trace_at(&[(46.15, 6.05), (46.25, 6.25)]);
+        let hm = Heatmap::from_trace(&grid(), &t);
+        assert_eq!(hm.topsoe(&hm), Some(0.0));
+    }
+
+    #[test]
+    fn topsoe_max_for_disjoint_profiles() {
+        let a = Heatmap::from_trace(&grid(), &trace_at(&[(46.15, 6.05)]));
+        let b = Heatmap::from_trace(&grid(), &trace_at(&[(46.25, 6.25)]));
+        let d = a.topsoe(&b).unwrap();
+        assert!((d - 2.0 * divergence::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topsoe_smaller_for_similar_profiles() {
+        let a = trace_at(&[(46.15, 6.05), (46.15, 6.05), (46.25, 6.25)]);
+        let b = trace_at(&[(46.15, 6.05), (46.25, 6.25), (46.25, 6.25)]);
+        let c = trace_at(&[(46.12, 6.27), (46.12, 6.27), (46.12, 6.27)]);
+        let g = grid();
+        let (ha, hb, hc) = (
+            Heatmap::from_trace(&g, &a),
+            Heatmap::from_trace(&g, &b),
+            Heatmap::from_trace(&g, &c),
+        );
+        assert!(ha.topsoe(&hb).unwrap() < ha.topsoe(&hc).unwrap());
+    }
+
+    #[test]
+    fn merged_adds_mass() {
+        let g = grid();
+        let a = Heatmap::from_trace(&g, &trace_at(&[(46.15, 6.05)]));
+        let b = Heatmap::from_trace(&g, &trace_at(&[(46.15, 6.05), (46.25, 6.25)]));
+        let m = a.merged(&b);
+        assert_eq!(m.total(), 3.0);
+        assert_eq!(m.cell_count(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let hm = Heatmap::from_trace(&grid(), &trace_at(&[(46.15, 6.05), (46.25, 6.25)]));
+        let json = serde_json::to_string(&hm).unwrap();
+        let back: Heatmap = serde_json::from_str(&json).unwrap();
+        assert_eq!(hm, back);
+    }
+}

@@ -1,0 +1,29 @@
+//! Mobility-profile models used by re-identification attacks and LPPMs.
+//!
+//! The paper's Figure 1 shows the three classic ways an attacker models a
+//! user's mobility, all implemented here:
+//!
+//! * **Points of Interest** — [`Stay`] clusters extracted by
+//!   [`PoiExtractor`] (sequential spatio-temporal clustering, 200 m
+//!   diameter / 1 h dwell by default) and aggregated into a [`PoiProfile`];
+//! * **Mobility Markov Chains** — [`MarkovChain`], whose states are POIs
+//!   ordered by weight and whose edges carry transition probabilities,
+//!   with a stationary distribution computed by damped power iteration;
+//! * **Heatmaps** — [`Heatmap`], per-cell record counts over a
+//!   [`mood_geo::Grid`], compared with the **Topsoe divergence** used by
+//!   AP-Attack.
+//!
+//! The [`divergence`] module provides the underlying f64 distribution
+//! distances (KL, Jensen–Shannon, Topsoe).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod divergence;
+mod heatmap;
+mod mmc;
+mod poi;
+
+pub use heatmap::Heatmap;
+pub use mmc::MarkovChain;
+pub use poi::{Poi, PoiExtractor, PoiProfile, Stay};

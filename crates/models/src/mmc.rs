@@ -1,0 +1,327 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Poi, PoiProfile};
+
+/// A Mobility Markov Chain (Gambs et al., the paper's \[16\] and Fig. 1):
+/// states are a user's POIs ordered by weight, edges carry the empirical
+/// probability of moving from one POI to the next.
+///
+/// PIT-Attack compares chains through their **stationary distributions**
+/// and the geography of their top-ranked states; both are exposed here.
+///
+/// # Examples
+///
+/// ```
+/// use mood_geo::GeoPoint;
+/// use mood_trace::{Record, Timestamp, Trace, UserId};
+/// use mood_models::{MarkovChain, PoiExtractor};
+///
+/// // build a trace that alternates 2 h blocks between two places
+/// let mut records = Vec::new();
+/// for block in 0..6 {
+///     let (lat, lng) = if block % 2 == 0 { (46.20, 6.10) } else { (46.25, 6.18) };
+///     for i in 0..12i64 {
+///         records.push(Record::new(
+///             GeoPoint::new(lat, lng).unwrap(),
+///             Timestamp::from_unix(block * 7200 + i * 600),
+///         ));
+///     }
+/// }
+/// let trace = Trace::new(UserId::new(1), records)?;
+/// let profile = PoiExtractor::paper_default().extract_profile(&trace);
+/// let mmc = MarkovChain::from_profile(&profile);
+/// assert_eq!(mmc.state_count(), 2);
+/// // alternation means each state transitions to the other
+/// assert!(mmc.transition(0, 1) > 0.9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovChain {
+    states: Vec<Poi>,
+    /// Row-stochastic transition matrix, row-major; rows without observed
+    /// transitions fall back to the uniform distribution.
+    transitions: Vec<f64>,
+    stationary: Vec<f64>,
+}
+
+/// Damping used in the stationary-distribution power iteration; the small
+/// uniform restart guarantees convergence on reducible chains (users whose
+/// POI graph is not strongly connected).
+const DAMPING: f64 = 0.95;
+const POWER_ITERATIONS: usize = 200;
+const CONVERGENCE_L1: f64 = 1e-12;
+
+impl MarkovChain {
+    /// Builds the chain of a POI profile: one state per POI, transition
+    /// counts from consecutive stays.
+    ///
+    /// Profiles with no POIs yield an empty chain
+    /// ([`MarkovChain::state_count`] = 0) — attacks treat those users as
+    /// unmatchable.
+    pub fn from_profile(profile: &PoiProfile) -> Self {
+        let n = profile.len();
+        if n == 0 {
+            return Self {
+                states: vec![],
+                transitions: vec![],
+                stationary: vec![],
+            };
+        }
+        let mut counts = vec![0.0f64; n * n];
+        for pair in profile.stay_assignment().windows(2) {
+            counts[pair[0] * n + pair[1]] += 1.0;
+        }
+        let mut transitions = vec![0.0f64; n * n];
+        for i in 0..n {
+            let row = &counts[i * n..(i + 1) * n];
+            let total: f64 = row.iter().sum();
+            if total > 0.0 {
+                for j in 0..n {
+                    transitions[i * n + j] = row[j] / total;
+                }
+            } else {
+                // dangling state: uniform over all states
+                for j in 0..n {
+                    transitions[i * n + j] = 1.0 / n as f64;
+                }
+            }
+        }
+        let stationary = Self::power_iteration(&transitions, n);
+        Self {
+            states: profile.pois().to_vec(),
+            transitions,
+            stationary,
+        }
+    }
+
+    fn power_iteration(transitions: &[f64], n: usize) -> Vec<f64> {
+        let uniform = 1.0 / n as f64;
+        let mut x = vec![uniform; n];
+        let mut next = vec![0.0f64; n];
+        for _ in 0..POWER_ITERATIONS {
+            for v in next.iter_mut() {
+                *v = (1.0 - DAMPING) * uniform;
+            }
+            for i in 0..n {
+                let xi = x[i] * DAMPING;
+                if xi == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    next[j] += xi * transitions[i * n + j];
+                }
+            }
+            let l1: f64 = x
+                .iter()
+                .zip(next.iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            std::mem::swap(&mut x, &mut next);
+            if l1 < CONVERGENCE_L1 {
+                break;
+            }
+        }
+        x
+    }
+
+    /// Number of states (POIs).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the chain has no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The POIs backing the states, ordered by descending weight.
+    pub fn states(&self) -> &[Poi] {
+        &self.states
+    }
+
+    /// Probability of moving from state `i` to state `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn transition(&self, i: usize, j: usize) -> f64 {
+        let n = self.states.len();
+        assert!(i < n && j < n, "state index out of range");
+        self.transitions[i * n + j]
+    }
+
+    /// The stationary distribution π (π = πP), computed by damped power
+    /// iteration; empty for an empty chain.
+    pub fn stationary(&self) -> &[f64] {
+        &self.stationary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PoiProfile, Stay};
+    use mood_geo::GeoPoint;
+    use mood_trace::Timestamp;
+
+    fn stay(lat: f64, lng: f64, idx: i64, records: usize) -> Stay {
+        Stay {
+            centroid: GeoPoint::new(lat, lng).unwrap(),
+            start: Timestamp::from_unix(idx * 10_000),
+            end: Timestamp::from_unix(idx * 10_000 + 3600),
+            record_count: records,
+        }
+    }
+
+    /// home -> work -> home -> work -> home (home is heaviest)
+    fn commuter_profile() -> PoiProfile {
+        let stays = vec![
+            stay(46.20, 6.10, 0, 50),
+            stay(46.25, 6.18, 1, 30),
+            stay(46.20, 6.10, 2, 50),
+            stay(46.25, 6.18, 3, 30),
+            stay(46.20, 6.10, 4, 50),
+        ];
+        PoiProfile::from_stays(&stays, 200.0)
+    }
+
+    #[test]
+    fn builds_two_state_chain() {
+        let mmc = MarkovChain::from_profile(&commuter_profile());
+        assert_eq!(mmc.state_count(), 2);
+        // state 0 = home (150 records), state 1 = work (60)
+        assert_eq!(mmc.states()[0].record_count, 150);
+        assert_eq!(mmc.states()[1].record_count, 60);
+    }
+
+    #[test]
+    fn transitions_are_row_stochastic() {
+        let mmc = MarkovChain::from_profile(&commuter_profile());
+        for i in 0..mmc.state_count() {
+            let row_sum: f64 = (0..mmc.state_count()).map(|j| mmc.transition(i, j)).sum();
+            assert!((row_sum - 1.0).abs() < 1e-9, "row {i} sums to {row_sum}");
+        }
+    }
+
+    #[test]
+    fn alternating_stays_give_cross_transitions() {
+        let mmc = MarkovChain::from_profile(&commuter_profile());
+        assert!(mmc.transition(0, 1) > 0.99);
+        assert!(mmc.transition(1, 0) > 0.99);
+    }
+
+    #[test]
+    fn stationary_sums_to_one_and_is_fixed_point() {
+        let mmc = MarkovChain::from_profile(&commuter_profile());
+        let pi = mmc.stationary();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // alternating two-state chain -> both states equally likely
+        assert!((pi[0] - 0.5).abs() < 0.03, "pi = {pi:?}");
+    }
+
+    #[test]
+    fn dangling_state_gets_uniform_row() {
+        // single visit to each of two places: transition 0->1 observed,
+        // nothing out of 1
+        let stays = vec![stay(46.20, 6.10, 0, 50), stay(46.25, 6.18, 1, 30)];
+        let profile = PoiProfile::from_stays(&stays, 200.0);
+        let mmc = MarkovChain::from_profile(&profile);
+        assert!((mmc.transition(1, 0) - 0.5).abs() < 1e-9);
+        assert!((mmc.transition(1, 1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_gives_empty_chain() {
+        let profile = PoiProfile::from_stays(&[], 200.0);
+        let mmc = MarkovChain::from_profile(&profile);
+        assert!(mmc.is_empty());
+        assert_eq!(mmc.state_count(), 0);
+        assert!(mmc.stationary().is_empty());
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let stays = vec![stay(46.20, 6.10, 0, 10), stay(46.20, 6.10, 1, 10)];
+        let profile = PoiProfile::from_stays(&stays, 200.0);
+        let mmc = MarkovChain::from_profile(&profile);
+        assert_eq!(mmc.state_count(), 1);
+        assert!((mmc.transition(0, 0) - 1.0).abs() < 1e-9);
+        assert!((mmc.stationary()[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "state index out of range")]
+    fn transition_index_checked() {
+        let mmc = MarkovChain::from_profile(&commuter_profile());
+        mmc.transition(0, 99);
+    }
+
+    #[test]
+    fn heavier_state_dominates_stationary() {
+        // home visited twice as often as each of two other places:
+        // home -> a -> home -> b -> home ...
+        let stays = vec![
+            stay(46.20, 6.10, 0, 10),
+            stay(46.25, 6.18, 1, 10),
+            stay(46.20, 6.10, 2, 10),
+            stay(46.15, 6.05, 3, 10),
+            stay(46.20, 6.10, 4, 10),
+            stay(46.25, 6.18, 5, 10),
+            stay(46.20, 6.10, 6, 10),
+            stay(46.15, 6.05, 7, 10),
+        ];
+        let profile = PoiProfile::from_stays(&stays, 200.0);
+        let mmc = MarkovChain::from_profile(&profile);
+        assert_eq!(mmc.state_count(), 3);
+        let pi = mmc.stationary();
+        assert!(pi[0] > pi[1] && pi[0] > pi[2], "pi = {pi:?}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mmc = MarkovChain::from_profile(&commuter_profile());
+        let json = serde_json::to_string(&mmc).unwrap();
+        let back: MarkovChain = serde_json::from_str(&json).unwrap();
+        assert_eq!(mmc, back);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{PoiProfile, Stay};
+    use mood_geo::GeoPoint;
+    use mood_trace::Timestamp;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn stationary_always_a_distribution(seq in proptest::collection::vec(0usize..5, 2..40)) {
+            // place k at latitude 46 + k*0.01
+            let stays: Vec<Stay> = seq
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| Stay {
+                    centroid: GeoPoint::new(46.0 + k as f64 * 0.01, 6.0).unwrap(),
+                    start: Timestamp::from_unix(i as i64 * 10_000),
+                    end: Timestamp::from_unix(i as i64 * 10_000 + 3600),
+                    record_count: 5,
+                })
+                .collect();
+            let profile = PoiProfile::from_stays(&stays, 200.0);
+            let mmc = MarkovChain::from_profile(&profile);
+            let pi = mmc.stationary();
+            let sum: f64 = pi.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+            for &p in pi {
+                prop_assert!(p >= 0.0);
+            }
+            // rows stochastic
+            for i in 0..mmc.state_count() {
+                let row: f64 = (0..mmc.state_count()).map(|j| mmc.transition(i, j)).sum();
+                prop_assert!((row - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

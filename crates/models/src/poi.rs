@@ -1,0 +1,514 @@
+use serde::{Deserialize, Serialize};
+
+use mood_geo::GeoPoint;
+use mood_trace::{TimeDelta, Timestamp, Trace};
+
+/// A *stay*: one contiguous dwell of a user inside a small area.
+///
+/// Stays are the raw output of POI extraction; aggregating stays that fall
+/// in the same place yields [`Poi`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stay {
+    /// Centroid of the records forming the stay.
+    pub centroid: GeoPoint,
+    /// Time of the first record of the stay.
+    pub start: Timestamp,
+    /// Time of the last record of the stay.
+    pub end: Timestamp,
+    /// Number of records in the stay.
+    pub record_count: usize,
+}
+
+impl Stay {
+    /// Duration of the stay.
+    pub fn dwell(&self) -> TimeDelta {
+        self.end.since(self.start)
+    }
+}
+
+/// A Point of Interest: a meaningful place aggregated from one or more
+/// [`Stay`]s (home, workplace, gym, ...; paper §2.2 and Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Record-weighted centroid of the merged stays.
+    pub centroid: GeoPoint,
+    /// Total records across merged stays — the POI's *weight* in
+    /// PIT-Attack's terms.
+    pub record_count: usize,
+    /// Number of distinct stays merged into this POI.
+    pub visit_count: usize,
+    /// Total dwell time across merged stays.
+    pub total_dwell: TimeDelta,
+}
+
+/// Sequential spatio-temporal clustering of a trace into [`Stay`]s,
+/// following the classic personal-gazetteer algorithm (Zhou et al. 2004,
+/// the paper's \[36\]): records are scanned in time order; a record within
+/// `diameter_m / 2` of the running cluster centroid extends the cluster,
+/// anything else closes it. Clusters dwelling at least `min_dwell` become
+/// stays.
+///
+/// The paper's attack configuration uses a 200 m diameter and a 1 h
+/// minimum dwell ([`PoiExtractor::paper_default`], §4.1.1).
+///
+/// # Examples
+///
+/// ```
+/// use mood_geo::GeoPoint;
+/// use mood_trace::{Record, Timestamp, Trace, UserId};
+/// use mood_models::PoiExtractor;
+///
+/// // two hours parked at one spot
+/// let records: Vec<Record> = (0..12)
+///     .map(|i| Record::new(
+///         GeoPoint::new(46.2, 6.1).unwrap(),
+///         Timestamp::from_unix(i * 600),
+///     ))
+///     .collect();
+/// let trace = Trace::new(UserId::new(1), records)?;
+/// let stays = PoiExtractor::paper_default().extract_stays(&trace);
+/// assert_eq!(stays.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoiExtractor {
+    diameter_m: f64,
+    min_dwell: TimeDelta,
+}
+
+impl PoiExtractor {
+    /// Creates an extractor with the given cluster diameter (meters) and
+    /// minimum dwell time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diameter_m` is not strictly positive and finite, or if
+    /// `min_dwell` is not strictly positive — both are programming errors
+    /// in experiment configuration.
+    pub fn new(diameter_m: f64, min_dwell: TimeDelta) -> Self {
+        assert!(
+            diameter_m.is_finite() && diameter_m > 0.0,
+            "diameter must be positive"
+        );
+        assert!(min_dwell.as_secs() > 0, "min dwell must be positive");
+        Self {
+            diameter_m,
+            min_dwell,
+        }
+    }
+
+    /// The paper's configuration: 200 m diameter, 1 h minimum dwell
+    /// (§4.1.1).
+    pub fn paper_default() -> Self {
+        Self::new(200.0, TimeDelta::from_hours(1))
+    }
+
+    /// Cluster diameter in meters.
+    pub fn diameter_m(&self) -> f64 {
+        self.diameter_m
+    }
+
+    /// Minimum dwell for a cluster to qualify as a stay.
+    pub fn min_dwell(&self) -> TimeDelta {
+        self.min_dwell
+    }
+
+    /// Extracts the time-ordered stays of `trace`.
+    pub fn extract_stays(&self, trace: &Trace) -> Vec<Stay> {
+        let radius = self.diameter_m / 2.0;
+        let mut stays = Vec::new();
+
+        // Running cluster state.
+        let mut sum_lat = 0.0f64;
+        let mut sum_lng = 0.0f64;
+        let mut count = 0usize;
+        let mut start = trace.start_time();
+        let mut end = start;
+
+        let centroid = |sum_lat: f64, sum_lng: f64, count: usize| {
+            GeoPoint::new(sum_lat / count as f64, sum_lng / count as f64)
+                .expect("mean of valid coordinates is valid")
+        };
+
+        let mut flush =
+            |sum_lat: f64, sum_lng: f64, count: usize, start: Timestamp, end: Timestamp| {
+                if count > 0 && end.since(start) >= self.min_dwell {
+                    stays.push(Stay {
+                        centroid: centroid(sum_lat, sum_lng, count),
+                        start,
+                        end,
+                        record_count: count,
+                    });
+                }
+            };
+
+        for r in trace.records() {
+            if count > 0 {
+                let c = centroid(sum_lat, sum_lng, count);
+                if c.approx_distance(&r.point()) <= radius {
+                    sum_lat += r.point().lat();
+                    sum_lng += r.point().lng();
+                    count += 1;
+                    end = r.time();
+                    continue;
+                }
+                flush(sum_lat, sum_lng, count, start, end);
+            }
+            sum_lat = r.point().lat();
+            sum_lng = r.point().lng();
+            count = 1;
+            start = r.time();
+            end = r.time();
+        }
+        flush(sum_lat, sum_lng, count, start, end);
+        stays
+    }
+
+    /// Extracts stays and aggregates them into a [`PoiProfile`], merging
+    /// stays whose centroids are within the cluster diameter.
+    pub fn extract_profile(&self, trace: &Trace) -> PoiProfile {
+        let stays = self.extract_stays(trace);
+        PoiProfile::from_stays(&stays, self.diameter_m)
+    }
+}
+
+/// A user's POI profile: aggregated POIs sorted by descending weight,
+/// plus the stay → POI assignment needed to build Markov-chain
+/// transitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoiProfile {
+    pois: Vec<Poi>,
+    /// For each input stay (in time order), the index of its POI in
+    /// `pois`.
+    stay_assignment: Vec<usize>,
+}
+
+impl PoiProfile {
+    /// Aggregates time-ordered stays into POIs: a stay joins the first
+    /// existing POI whose centroid lies within `merge_distance_m`,
+    /// otherwise it founds a new POI. POIs are finally sorted by
+    /// descending record count (PIT-Attack orders states this way),
+    /// ties broken by earlier discovery.
+    pub fn from_stays(stays: &[Stay], merge_distance_m: f64) -> Self {
+        struct Agg {
+            sum_lat: f64,
+            sum_lng: f64,
+            records: usize,
+            visits: usize,
+            dwell: TimeDelta,
+        }
+        let mut aggs: Vec<Agg> = Vec::new();
+        let mut assignment = Vec::with_capacity(stays.len());
+        for stay in stays {
+            let found = aggs.iter().position(|a| {
+                let c = GeoPoint::new(
+                    a.sum_lat / a.records as f64,
+                    a.sum_lng / a.records as f64,
+                )
+                .expect("aggregate centroid valid");
+                c.approx_distance(&stay.centroid) <= merge_distance_m
+            });
+            match found {
+                Some(i) => {
+                    let a = &mut aggs[i];
+                    a.sum_lat += stay.centroid.lat() * stay.record_count as f64;
+                    a.sum_lng += stay.centroid.lng() * stay.record_count as f64;
+                    a.records += stay.record_count;
+                    a.visits += 1;
+                    a.dwell = a.dwell + stay.dwell();
+                    assignment.push(i);
+                }
+                None => {
+                    aggs.push(Agg {
+                        sum_lat: stay.centroid.lat() * stay.record_count as f64,
+                        sum_lng: stay.centroid.lng() * stay.record_count as f64,
+                        records: stay.record_count,
+                        visits: 1,
+                        dwell: stay.dwell(),
+                    });
+                    assignment.push(aggs.len() - 1);
+                }
+            }
+        }
+        // Sort by descending record count, remembering the permutation so
+        // stay assignments stay correct.
+        let mut order: Vec<usize> = (0..aggs.len()).collect();
+        order.sort_by(|&a, &b| aggs[b].records.cmp(&aggs[a].records).then(a.cmp(&b)));
+        let mut rank = vec![0usize; aggs.len()];
+        for (new_idx, &old_idx) in order.iter().enumerate() {
+            rank[old_idx] = new_idx;
+        }
+        let mut pois: Vec<Option<Poi>> = vec![None; aggs.len()];
+        for (old_idx, a) in aggs.iter().enumerate() {
+            pois[rank[old_idx]] = Some(Poi {
+                centroid: GeoPoint::new(
+                    a.sum_lat / a.records as f64,
+                    a.sum_lng / a.records as f64,
+                )
+                .expect("aggregate centroid valid"),
+                record_count: a.records,
+                visit_count: a.visits,
+                total_dwell: a.dwell,
+            });
+        }
+        let pois: Vec<Poi> = pois.into_iter().map(|p| p.expect("filled")).collect();
+        let stay_assignment = assignment.into_iter().map(|i| rank[i]).collect();
+        Self {
+            pois,
+            stay_assignment,
+        }
+    }
+
+    /// The POIs, sorted by descending record count.
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// `true` when the profile has no POIs (short or erratic traces).
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// For each stay passed to [`PoiProfile::from_stays`] (in time
+    /// order), the index of the POI it was merged into.
+    pub fn stay_assignment(&self) -> &[usize] {
+        &self.stay_assignment
+    }
+
+    /// Normalized POI weights (record-count share); sums to 1 when the
+    /// profile is non-empty.
+    pub fn weights(&self) -> Vec<f64> {
+        let total: usize = self.pois.iter().map(|p| p.record_count).sum();
+        if total == 0 {
+            return vec![];
+        }
+        self.pois
+            .iter()
+            .map(|p| p.record_count as f64 / total as f64)
+            .collect()
+    }
+
+    /// The `k` heaviest POIs (all of them when fewer exist).
+    pub fn top(&self, k: usize) -> &[Poi] {
+        &self.pois[..k.min(self.pois.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_trace::{Record, UserId};
+
+    fn pt(lat: f64, lng: f64) -> GeoPoint {
+        GeoPoint::new(lat, lng).unwrap()
+    }
+
+    fn rec(lat: f64, lng: f64, t: i64) -> Record {
+        Record::new(pt(lat, lng), Timestamp::from_unix(t))
+    }
+
+    /// Two hours home, commute, three hours at work, commute, home again.
+    fn commuter_trace() -> Trace {
+        let home = (46.2000, 6.1000);
+        let work = (46.2300, 6.1500);
+        let mut records = Vec::new();
+        let mut t = 0i64;
+        // 2 h at home, one record every 10 min
+        for _ in 0..12 {
+            records.push(rec(home.0, home.1, t));
+            t += 600;
+        }
+        // 30 min commute, moving fast
+        for i in 0..3 {
+            let f = (i + 1) as f64 / 4.0;
+            records.push(rec(
+                home.0 + (work.0 - home.0) * f,
+                home.1 + (work.1 - home.1) * f,
+                t,
+            ));
+            t += 600;
+        }
+        // 3 h at work
+        for _ in 0..18 {
+            records.push(rec(work.0, work.1, t));
+            t += 600;
+        }
+        // commute back
+        for i in 0..3 {
+            let f = 1.0 - (i + 1) as f64 / 4.0;
+            records.push(rec(
+                home.0 + (work.0 - home.0) * f,
+                home.1 + (work.1 - home.1) * f,
+                t,
+            ));
+            t += 600;
+        }
+        // 2 h home
+        for _ in 0..12 {
+            records.push(rec(home.0, home.1, t));
+            t += 600;
+        }
+        Trace::new(UserId::new(1), records).unwrap()
+    }
+
+    #[test]
+    fn extracts_home_and_work_stays() {
+        let stays = PoiExtractor::paper_default().extract_stays(&commuter_trace());
+        assert_eq!(stays.len(), 3, "home, work, home");
+        // stays are in time order
+        assert!(stays[0].start < stays[1].start);
+        assert!(stays[1].start < stays[2].start);
+        // the middle stay is at work
+        let work = pt(46.2300, 6.1500);
+        assert!(stays[1].centroid.approx_distance(&work) < 100.0);
+        assert!(stays[1].dwell() >= TimeDelta::from_hours(2));
+    }
+
+    #[test]
+    fn short_dwell_is_not_a_stay() {
+        // 30 min at one spot then movement
+        let mut records = Vec::new();
+        for i in 0..3 {
+            records.push(rec(46.2, 6.1, i * 600));
+        }
+        for i in 0..10 {
+            records.push(rec(46.2 + 0.01 * (i + 1) as f64, 6.1, 1800 + i * 600));
+        }
+        let t = Trace::new(UserId::new(1), records).unwrap();
+        let stays = PoiExtractor::paper_default().extract_stays(&t);
+        assert!(stays.is_empty(), "got {stays:?}");
+    }
+
+    #[test]
+    fn constant_position_single_stay() {
+        let records: Vec<Record> = (0..20).map(|i| rec(46.2, 6.1, i * 600)).collect();
+        let t = Trace::new(UserId::new(1), records).unwrap();
+        let stays = PoiExtractor::paper_default().extract_stays(&t);
+        assert_eq!(stays.len(), 1);
+        assert_eq!(stays[0].record_count, 20);
+    }
+
+    #[test]
+    fn profile_merges_repeated_home_visits() {
+        let profile = PoiExtractor::paper_default().extract_profile(&commuter_trace());
+        assert_eq!(profile.len(), 2, "home and work");
+        // home has 24 records across 2 visits, work 18 across 1
+        assert_eq!(profile.pois()[0].record_count, 24);
+        assert_eq!(profile.pois()[0].visit_count, 2);
+        assert_eq!(profile.pois()[1].record_count, 18);
+        // assignment maps stays [home, work, home] -> [0, 1, 0]
+        assert_eq!(profile.stay_assignment(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn profile_sorted_by_weight() {
+        let profile = PoiExtractor::paper_default().extract_profile(&commuter_trace());
+        let w = profile.weights();
+        assert!(w[0] >= w[1]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        let profile = PoiExtractor::paper_default().extract_profile(&commuter_trace());
+        assert_eq!(profile.top(1).len(), 1);
+        assert_eq!(profile.top(10).len(), 2);
+    }
+
+    #[test]
+    fn empty_profile_from_moving_trace() {
+        let records: Vec<Record> = (0..30)
+            .map(|i| rec(46.0 + i as f64 * 0.01, 6.0, i * 600))
+            .collect();
+        let t = Trace::new(UserId::new(1), records).unwrap();
+        let profile = PoiExtractor::paper_default().extract_profile(&t);
+        assert!(profile.is_empty());
+        assert!(profile.weights().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "diameter must be positive")]
+    fn rejects_bad_diameter() {
+        PoiExtractor::new(0.0, TimeDelta::from_hours(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "min dwell must be positive")]
+    fn rejects_bad_dwell() {
+        PoiExtractor::new(200.0, TimeDelta::from_secs(0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let profile = PoiExtractor::paper_default().extract_profile(&commuter_trace());
+        let json = serde_json::to_string(&profile).unwrap();
+        let back: PoiProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(profile, back);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mood_trace::{Record, UserId};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn stays_are_time_ordered_and_counted(
+            jitters in proptest::collection::vec((-5e-4f64..5e-4, -5e-4f64..5e-4), 20..120),
+        ) {
+            let records: Vec<Record> = jitters
+                .iter()
+                .enumerate()
+                .map(|(i, (dlat, dlng))| {
+                    Record::new(
+                        GeoPoint::new(46.2 + dlat, 6.1 + dlng).unwrap(),
+                        Timestamp::from_unix(i as i64 * 600),
+                    )
+                })
+                .collect();
+            let n = records.len();
+            let trace = Trace::new(UserId::new(1), records).unwrap();
+            let stays = PoiExtractor::paper_default().extract_stays(&trace);
+            let mut last_start = None;
+            let mut total = 0usize;
+            for s in &stays {
+                if let Some(prev) = last_start {
+                    prop_assert!(s.start >= prev);
+                }
+                last_start = Some(s.start);
+                prop_assert!(s.dwell() >= TimeDelta::from_hours(1));
+                total += s.record_count;
+            }
+            prop_assert!(total <= n);
+        }
+
+        #[test]
+        fn profile_weight_sums_to_one_when_nonempty(
+            n_stays in 1usize..10,
+        ) {
+            let stays: Vec<Stay> = (0..n_stays)
+                .map(|i| Stay {
+                    centroid: GeoPoint::new(46.0 + i as f64 * 0.01, 6.0).unwrap(),
+                    start: Timestamp::from_unix(i as i64 * 10_000),
+                    end: Timestamp::from_unix(i as i64 * 10_000 + 3600),
+                    record_count: i + 1,
+                })
+                .collect();
+            let profile = PoiProfile::from_stays(&stays, 200.0);
+            let sum: f64 = profile.weights().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            // sorted descending
+            let w = profile.weights();
+            for pair in w.windows(2) {
+                prop_assert!(pair[0] >= pair[1] - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+use serde::{Deserialize, Serialize};
+
+use mood_geo::BoundingBox;
+
+/// A named city extent for workload generation.
+///
+/// The four presets correspond to the cities of the paper's datasets
+/// (Table 1): Geneva (MDC), Lyon (Privamov), Beijing (Geolife) and
+/// San Francisco (Cabspotting). Boxes cover the dense urban core — about
+/// 10–25 km on a side — which is where the simulated agents live.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CityModel {
+    name: String,
+    bbox: BoundingBox,
+}
+
+impl CityModel {
+    /// Creates a city from a name and extent.
+    pub fn new(name: impl Into<String>, bbox: BoundingBox) -> Self {
+        Self {
+            name: name.into(),
+            bbox,
+        }
+    }
+
+    /// Geneva, Switzerland — the MDC dataset's city.
+    pub fn geneva() -> Self {
+        Self::new(
+            "Geneva",
+            BoundingBox::new(46.15, 46.26, 6.05, 6.22).expect("preset box valid"),
+        )
+    }
+
+    /// Lyon, France — the Privamov dataset's city.
+    pub fn lyon() -> Self {
+        Self::new(
+            "Lyon",
+            BoundingBox::new(45.70, 45.81, 4.78, 4.93).expect("preset box valid"),
+        )
+    }
+
+    /// Beijing, China — the Geolife dataset's city.
+    pub fn beijing() -> Self {
+        Self::new(
+            "Beijing",
+            BoundingBox::new(39.80, 40.05, 116.25, 116.55).expect("preset box valid"),
+        )
+    }
+
+    /// San Francisco, USA — the Cabspotting dataset's city.
+    pub fn san_francisco() -> Self {
+        Self::new(
+            "San Francisco",
+            BoundingBox::new(37.70, 37.82, -122.52, -122.36).expect("preset box valid"),
+        )
+    }
+
+    /// City name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// City extent.
+    pub fn bbox(&self) -> &BoundingBox {
+        &self.bbox
+    }
+}
+
+impl std::fmt::Display for CityModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.name, self.bbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_reasonable_extents() {
+        for city in [
+            CityModel::geneva(),
+            CityModel::lyon(),
+            CityModel::beijing(),
+            CityModel::san_francisco(),
+        ] {
+            let b = city.bbox();
+            assert!(b.height_m() > 5_000.0, "{} too small", city.name());
+            assert!(b.height_m() < 50_000.0, "{} too big", city.name());
+            assert!(b.width_m() > 5_000.0);
+            assert!(b.width_m() < 50_000.0);
+        }
+    }
+
+    #[test]
+    fn names_match() {
+        assert_eq!(CityModel::geneva().name(), "Geneva");
+        assert_eq!(CityModel::san_francisco().name(), "San Francisco");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = CityModel::lyon();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CityModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

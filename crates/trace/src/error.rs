@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Error type for trace and dataset operations.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Operation requires a non-empty trace.
+    EmptyTrace,
+    /// Records were not sorted by timestamp and sorting was not requested.
+    UnsortedRecords {
+        /// Index of the first out-of-order record.
+        index: usize,
+    },
+    /// Two traces with the same user were inserted into a dataset.
+    DuplicateUser(crate::UserId),
+    /// The requested user does not exist in the dataset.
+    UnknownUser(crate::UserId),
+    /// A split point that produces an empty side when emptiness is invalid.
+    InvalidSplit(String),
+    /// Geographic error bubbled up from `mood-geo`.
+    Geo(mood_geo::GeoError),
+    /// Parse failure while reading a CSV dataset.
+    Parse {
+        /// 1-based line number of the malformed row.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::EmptyTrace => write!(f, "operation requires a non-empty trace"),
+            TraceError::UnsortedRecords { index } => {
+                write!(f, "records are not time-sorted (first violation at index {index})")
+            }
+            TraceError::DuplicateUser(u) => write!(f, "duplicate user {u} in dataset"),
+            TraceError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            TraceError::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
+            TraceError::Geo(e) => write!(f, "geographic error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Geo(e) => Some(e),
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mood_geo::GeoError> for TraceError {
+    fn from(e: mood_geo::GeoError) -> Self {
+        TraceError::Geo(e)
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TraceError::Parse {
+            line: 7,
+            message: "bad latitude".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(TraceError::EmptyTrace.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+
+    #[test]
+    fn source_chains_geo_error() {
+        use std::error::Error;
+        let e = TraceError::from(mood_geo::GeoError::InvalidLatitude(99.0));
+        assert!(e.source().is_some());
+    }
+}

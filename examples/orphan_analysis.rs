@@ -1,0 +1,77 @@
+//! Orphan-disease analysis: which users are *orphan users* (protected by
+//! no single LPPM, the paper's Eq. 4), and which treatment cured them —
+//! a composition chain, fine-grained splitting, or nothing.
+//!
+//! Run with: `cargo run --release -p mood-core --example orphan_analysis`
+
+use std::collections::BTreeMap;
+
+use mood_core::{protect_dataset, MoodEngine, ProtectionOutcome, UserClass};
+use mood_synth::presets;
+use mood_trace::TimeDelta;
+
+fn main() {
+    let dataset = presets::privamov_like().scaled(0.5).generate();
+    let (background, to_protect) = dataset.split_chronological(TimeDelta::from_days(15));
+    let engine = MoodEngine::paper_default(&background);
+    let report = protect_dataset(&engine, &to_protect, 4);
+
+    println!("population: {} users", report.users_total);
+    for (class, count) in &report.class_counts {
+        println!("  {class}: {count}");
+    }
+    let orphans: Vec<_> = report
+        .outcomes()
+        .iter()
+        .filter(|o| o.class.is_orphan())
+        .collect();
+    println!(
+        "\n{} orphan users (no single LPPM protects them):",
+        orphans.len()
+    );
+
+    // Which cures worked?
+    let mut cures: BTreeMap<String, usize> = BTreeMap::new();
+    for o in &orphans {
+        match (&o.class, &o.outcome) {
+            (UserClass::MultiLppm, ProtectionOutcome::Whole(p)) => {
+                *cures.entry(format!("composition {}", p.lppm)).or_insert(0) += 1;
+            }
+            (UserClass::FineGrained, ProtectionOutcome::FineGrained { stats, .. }) => {
+                *cures
+                    .entry(format!(
+                        "fine-grained ({}/{} sub-traces)",
+                        stats.sub_traces_protected, stats.sub_traces_total
+                    ))
+                    .or_insert(0) += 1;
+            }
+            (UserClass::Unprotectable, _) => {
+                *cures.entry("no cure found".into()).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    for (cure, count) in &cures {
+        println!("  {count} user(s): {cure}");
+    }
+
+    // Per-orphan detail.
+    println!("\nper-orphan detail:");
+    for o in orphans {
+        match &o.outcome {
+            ProtectionOutcome::Whole(p) => println!(
+                "  {}: cured by {} (STD {:.0} m)",
+                o.user, p.lppm, p.distortion_m
+            ),
+            ProtectionOutcome::FineGrained { stats, published } => println!(
+                "  {}: fine-grained, {}/{} sub-traces published ({} records kept, {} erased), {} variants",
+                o.user,
+                stats.sub_traces_protected,
+                stats.sub_traces_total,
+                stats.records_published,
+                stats.records_dropped,
+                published.len()
+            ),
+        }
+    }
+}

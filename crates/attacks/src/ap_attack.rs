@@ -134,7 +134,9 @@ mod tests {
         let trained = ApAttack::paper_default().train(&two_user_background());
         let anon = Trace::new(
             UserId::new(99),
-            (0..20).map(|i| rec(46.161, 6.061, 100_000 + i * 600)).collect(),
+            (0..20)
+                .map(|i| rec(46.161, 6.061, 100_000 + i * 600))
+                .collect(),
         )
         .unwrap();
         let p = trained.predict(&anon);
@@ -148,7 +150,9 @@ mod tests {
         let trained = ApAttack::paper_default().train(&two_user_background());
         let anon = Trace::new(
             UserId::new(2),
-            (0..20).map(|i| rec(46.251, 6.201, 100_000 + i * 600)).collect(),
+            (0..20)
+                .map(|i| rec(46.251, 6.201, 100_000 + i * 600))
+                .collect(),
         )
         .unwrap();
         assert!(trained.re_identifies(&anon, UserId::new(2)));

@@ -192,24 +192,36 @@ mod tests {
     #[test]
     fn stats_prox_orders_candidates_geographically() {
         let e = PoiExtractor::paper_default();
-        let anon = MarkovChain::from_profile(
-            &e.extract_profile(&commuter(9, (46.16, 6.06), (46.18, 6.09), 0)),
-        );
-        let near = MarkovChain::from_profile(
-            &e.extract_profile(&commuter(1, (46.161, 6.061), (46.181, 6.091), 0)),
-        );
-        let far = MarkovChain::from_profile(
-            &e.extract_profile(&commuter(2, (46.25, 6.20), (46.23, 6.17), 0)),
-        );
+        let anon = MarkovChain::from_profile(&e.extract_profile(&commuter(
+            9,
+            (46.16, 6.06),
+            (46.18, 6.09),
+            0,
+        )));
+        let near = MarkovChain::from_profile(&e.extract_profile(&commuter(
+            1,
+            (46.161, 6.061),
+            (46.181, 6.091),
+            0,
+        )));
+        let far = MarkovChain::from_profile(&e.extract_profile(&commuter(
+            2,
+            (46.25, 6.20),
+            (46.23, 6.17),
+            0,
+        )));
         assert!(stats_prox(&anon, &near, 5) < stats_prox(&anon, &far, 5));
     }
 
     #[test]
     fn empty_candidate_is_infinite() {
         let e = PoiExtractor::paper_default();
-        let anon = MarkovChain::from_profile(
-            &e.extract_profile(&commuter(9, (46.16, 6.06), (46.18, 6.09), 0)),
-        );
+        let anon = MarkovChain::from_profile(&e.extract_profile(&commuter(
+            9,
+            (46.16, 6.06),
+            (46.18, 6.09),
+            0,
+        )));
         let empty = MarkovChain::from_profile(&mood_models::PoiProfile::from_stays(&[], 200.0));
         assert_eq!(stats_prox(&anon, &empty, 5), f64::INFINITY);
     }

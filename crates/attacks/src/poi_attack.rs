@@ -151,7 +151,8 @@ mod tests {
             .map(|i| rec(46.0 + i as f64 * 0.005, 6.0, i * 600))
             .collect();
         let mut bg = background();
-        bg.insert(Trace::new(UserId::new(3), moving).unwrap()).unwrap();
+        bg.insert(Trace::new(UserId::new(3), moving).unwrap())
+            .unwrap();
         let trained = PoiAttack::paper_default().train(&bg);
         let anon = dwell_trace(99, 46.1601, 6.0601, 4, 500_000);
         let p = trained.predict(&anon);

@@ -36,10 +36,7 @@ impl Prediction {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.0.cmp(&b.0))
         });
-        let predicted = scores
-            .iter()
-            .find(|(_, d)| d.is_finite())
-            .map(|(u, _)| *u);
+        let predicted = scores.iter().find(|(_, d)| d.is_finite()).map(|(u, _)| *u);
         Self { predicted, scores }
     }
 

@@ -28,7 +28,10 @@ fn main() {
 
     // --- composition length cap ---
     println!("A1. MooD composition length cap (adversary: 3 attacks)");
-    println!("{:<10} {:>14} {:>11} {:>10}", "max len", "comp-unprot.", "data loss", "variants");
+    println!(
+        "{:<10} {:>14} {:>11} {:>10}",
+        "max len", "comp-unprot.", "data loss", "variants"
+    );
     for cap in 1..=3usize {
         let mut config = MoodConfig::paper_default();
         config.max_composition_len = cap;
@@ -78,7 +81,10 @@ fn main() {
 
     // --- split strategy (paper §6 future work) ---
     println!("\nA2b. Fine-grained split strategy (paper future work)");
-    println!("{:<14} {:>14} {:>11}", "strategy", "comp-unprot.", "data loss");
+    println!(
+        "{:<14} {:>14} {:>11}",
+        "strategy", "comp-unprot.", "data loss"
+    );
     for strategy in [
         mood_core::SplitStrategy::Halving,
         mood_core::SplitStrategy::LargestGap,
@@ -102,12 +108,20 @@ fn main() {
     for cell in [400.0, 800.0, 1600.0] {
         let suite = AttackSuite::train(&[&ApAttack::new(cell) as &dyn Attack], &ctx.train);
         let eval = suite.evaluate(&ctx.test);
-        println!("{:<10} {:>10}/{:<3}", format!("{cell} m"), eval.non_protected_count(), eval.users_total);
+        println!(
+            "{:<10} {:>10}/{:<3}",
+            format!("{cell} m"),
+            eval.non_protected_count(),
+            eval.users_total
+        );
     }
 
     // --- Geo-I epsilon sweep ---
     println!("\nA4. Geo-I epsilon sweep (3-attack adversary)");
-    println!("{:<10} {:>14} {:>12}", "epsilon", "re-identified", "mean STD");
+    println!(
+        "{:<10} {:>14} {:>12}",
+        "epsilon", "re-identified", "mean STD"
+    );
     for eps in [0.05, 0.01, 0.005, 0.001] {
         let geoi = GeoI::new(eps);
         let mut total_std = 0.0;

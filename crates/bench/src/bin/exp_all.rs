@@ -4,10 +4,21 @@
 //!
 //! Usage: `cargo run --release -p mood-bench --bin exp_all [--scale X] [--threads N]`
 
+use serde::{Deserialize, Serialize};
+
 use mood_bench::{cli_options, print_bars, run_figures, Adversary, ExperimentContext};
 use mood_synth::presets;
 
 const BANDS: [&str; 4] = ["Low", "Medium", "High", "ExtremelyHigh"];
+
+/// One Table 1 row, as written to `results/table1.json`.
+#[derive(Serialize, Deserialize)]
+struct Table1Row {
+    name: String,
+    users: usize,
+    location: String,
+    records: usize,
+}
 
 fn main() {
     let (scale, threads) = cli_options();
@@ -29,10 +40,12 @@ fn main() {
             ctx.spec.city.name(),
             full
         );
-        table1.push(serde_json::json!({
-            "name": ctx.spec.name, "users": ctx.test.user_count(),
-            "location": ctx.spec.city.name(), "records": full,
-        }));
+        table1.push(Table1Row {
+            name: ctx.spec.name.clone(),
+            users: ctx.test.user_count(),
+            location: ctx.spec.city.name().to_string(),
+            records: full,
+        });
         contexts.push(ctx);
     }
     std::fs::write(
@@ -92,7 +105,13 @@ fn main() {
         serde_json::to_string_pretty(&fig6).expect("serializable"),
     )
     .ok();
-    for (name, data) in [("fig2_3", &fig7), ("fig7", &fig7), ("fig8", &fig7), ("fig9", &fig7), ("fig10", &fig7)] {
+    for (name, data) in [
+        ("fig2_3", &fig7),
+        ("fig7", &fig7),
+        ("fig8", &fig7),
+        ("fig9", &fig7),
+        ("fig10", &fig7),
+    ] {
         std::fs::write(
             format!("results/{name}.json"),
             serde_json::to_string_pretty(data).expect("serializable"),

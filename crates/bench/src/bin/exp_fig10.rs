@@ -20,7 +20,10 @@ fn main() {
             if m.mechanism == "no-LPPM" {
                 continue;
             }
-            println!("  {:<12} {:>7.2}% data loss", m.mechanism, m.data_loss_percent);
+            println!(
+                "  {:<12} {:>7.2}% data loss",
+                m.mechanism, m.data_loss_percent
+            );
         }
         println!();
         all.push(figures);

@@ -12,7 +12,9 @@ const BANDS: [&str; 4] = ["Low", "Medium", "High", "ExtremelyHigh"];
 fn main() {
     let (scale, threads) = cli_options();
     println!("Figure 9: utility of data protected with MooD vs. competitors");
-    println!("(bands: Low <500 m | Medium <1 km | High <5 km | ExtremelyHigh >=5 km; scale {scale})\n");
+    println!(
+        "(bands: Low <500 m | Medium <1 km | High <5 km | ExtremelyHigh >=5 km; scale {scale})\n"
+    );
     let mut all = Vec::new();
     for spec in presets::all() {
         let ctx = ExperimentContext::load(&spec, scale);

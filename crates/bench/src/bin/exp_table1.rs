@@ -6,9 +6,22 @@
 //!
 //! Usage: `cargo run --release -p mood-bench --bin exp_table1 [--scale X]`
 
+use serde::{Deserialize, Serialize};
+
 use mood_bench::cli_options;
 use mood_synth::presets;
 use mood_trace::TimeDelta;
+
+/// One Table 1 row, as written to `results/table1.json`.
+#[derive(Serialize, Deserialize)]
+struct DatasetRow {
+    name: String,
+    users: usize,
+    location: String,
+    records: usize,
+    train_records: usize,
+    test_records: usize,
+}
 
 fn main() {
     let (scale, _) = cli_options();
@@ -19,7 +32,11 @@ fn main() {
     );
     let mut rows = Vec::new();
     for spec in presets::all() {
-        let spec = if scale < 1.0 { spec.scaled(scale) } else { spec };
+        let spec = if scale < 1.0 {
+            spec.scaled(scale)
+        } else {
+            spec
+        };
         let ds = spec.generate();
         let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
         println!(
@@ -31,14 +48,14 @@ fn main() {
             train.record_count(),
             test.record_count()
         );
-        rows.push(serde_json::json!({
-            "name": spec.name,
-            "users": ds.user_count(),
-            "location": spec.city.name(),
-            "records": ds.record_count(),
-            "train_records": train.record_count(),
-            "test_records": test.record_count(),
-        }));
+        rows.push(DatasetRow {
+            name: spec.name.clone(),
+            users: ds.user_count(),
+            location: spec.city.name().to_string(),
+            records: ds.record_count(),
+            train_records: train.record_count(),
+            test_records: test.record_count(),
+        });
     }
     std::fs::create_dir_all("results").ok();
     std::fs::write(

@@ -1,0 +1,101 @@
+//! Batch-protection throughput: users/second of the MooD pipeline per
+//! execution backend, on the privamov-like preset.
+//!
+//! This is the perf trajectory the ROADMAP tracks PR over PR: the JSON
+//! emitted to `results/throughput.json` (and echoed to stdout) lets
+//! future changes prove their speedups against a recorded baseline.
+//!
+//! Usage: `cargo run --release -p mood-bench --bin exp_throughput
+//!         [--scale X] [--threads N]`
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use mood_bench::{cli_options, Adversary, ExperimentContext};
+use mood_core::{protect_dataset_with, ExecutorKind};
+use mood_synth::presets;
+
+/// One measured configuration.
+#[derive(Debug, Serialize, Deserialize)]
+struct ThroughputRow {
+    executor: String,
+    threads: usize,
+    users: usize,
+    records: usize,
+    wall_s: f64,
+    users_per_s: f64,
+    records_per_s: f64,
+    speedup_vs_sequential: f64,
+}
+
+/// The emitted document.
+#[derive(Debug, Serialize, Deserialize)]
+struct ThroughputReport {
+    dataset: String,
+    scale_note: String,
+    rows: Vec<ThroughputRow>,
+}
+
+fn main() {
+    let (scale, threads) = cli_options();
+    println!("=== protect_dataset throughput (privamov-like, scale {scale}) ===");
+    let ctx = ExperimentContext::load(&presets::privamov_like(), scale);
+    let engine = ctx.engine(Adversary::All);
+    let users = ctx.test.user_count();
+    let records = ctx.test.record_count();
+    println!("{users} users / {records} records, up to {threads} threads\n");
+
+    let configs: Vec<(ExecutorKind, usize)> = vec![
+        (ExecutorKind::Sequential, 1),
+        (ExecutorKind::ScopedPool, threads),
+        (ExecutorKind::WorkStealing, threads),
+    ];
+
+    let mut rows: Vec<ThroughputRow> = Vec::new();
+    let mut sequential_wall = None;
+    let mut reference = None;
+    for (kind, t) in configs {
+        let executor = kind.build(t);
+        // warm-up run (page cache, branch predictors, allocator)
+        let warmup = protect_dataset_with(&engine, &ctx.test, executor.as_ref());
+        let start = Instant::now();
+        let report = protect_dataset_with(&engine, &ctx.test, executor.as_ref());
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(warmup, report, "non-deterministic protection on {kind}");
+        match &reference {
+            None => reference = Some(report),
+            Some(r) => assert_eq!(r, &report, "{kind} diverged from sequential output"),
+        }
+        if kind == ExecutorKind::Sequential {
+            sequential_wall = Some(wall);
+        }
+        let speedup = sequential_wall.map_or(1.0, |s| s / wall);
+        println!(
+            "{:<12} x{t:<2}  {wall:>8.2} s   {:>8.2} users/s   {:>10.0} records/s   {speedup:>5.2}x",
+            kind.to_string(),
+            users as f64 / wall,
+            records as f64 / wall,
+        );
+        rows.push(ThroughputRow {
+            executor: kind.to_string(),
+            threads: t,
+            users,
+            records,
+            wall_s: wall,
+            users_per_s: users as f64 / wall,
+            records_per_s: records as f64 / wall,
+            speedup_vs_sequential: speedup,
+        });
+    }
+
+    let doc = ThroughputReport {
+        dataset: ctx.spec.name.clone(),
+        scale_note: format!("privamov-like scaled by {scale}"),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("serializable rows");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/throughput.json", &json).ok();
+    println!("\n{json}");
+}

@@ -60,7 +60,11 @@ impl ExperimentContext {
     /// Generates the dataset at `scale`, splits it chronologically and
     /// trains both attack suites.
     pub fn load(spec: &DatasetSpec, scale: f64) -> Self {
-        let spec = if scale < 1.0 { spec.scaled(scale) } else { spec.clone() };
+        let spec = if scale < 1.0 {
+            spec.scaled(scale)
+        } else {
+            spec.clone()
+        };
         let ds = spec.generate();
         let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
         let suite_all = Arc::new(AttackSuite::train(
@@ -192,7 +196,8 @@ fn band_counts(distortions: &[f64]) -> BTreeMap<String, usize> {
         out.insert(format!("{b:?}"), 0);
     }
     for &d in distortions {
-        *out.entry(format!("{:?}", DistortionBand::classify(d))).or_insert(0) += 1;
+        *out.entry(format!("{:?}", DistortionBand::classify(d)))
+            .or_insert(0) += 1;
     }
     out
 }
@@ -202,7 +207,11 @@ fn band_counts(distortions: &[f64]) -> BTreeMap<String, usize> {
 /// adversary.
 ///
 /// `threads` parallelizes MooD's per-user protection.
-pub fn run_figures(ctx: &ExperimentContext, adversary: Adversary, threads: usize) -> DatasetFigures {
+pub fn run_figures(
+    ctx: &ExperimentContext,
+    adversary: Adversary,
+    threads: usize,
+) -> DatasetFigures {
     let suite = ctx.suite(adversary);
     let mut mechanisms = Vec::new();
 
@@ -382,7 +391,11 @@ mod tests {
     fn figures_have_all_bars_in_order() {
         let ctx = tiny_ctx();
         let figures = run_figures(&ctx, Adversary::All, 2);
-        let names: Vec<&str> = figures.mechanisms.iter().map(|m| m.mechanism.as_str()).collect();
+        let names: Vec<&str> = figures
+            .mechanisms
+            .iter()
+            .map(|m| m.mechanism.as_str())
+            .collect();
         assert_eq!(
             names,
             vec!["no-LPPM", "Geo-I", "TRL", "HMC", "HybridLPPM", "MooD"]

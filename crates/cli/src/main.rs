@@ -11,9 +11,10 @@
 //! Run `mood help` for per-command usage.
 
 use std::collections::HashMap;
+use std::io::Write;
 use std::process::ExitCode;
 
-use mood_core::{protect_dataset, publish, MoodConfig, MoodEngine};
+use mood_core::{publish, EngineBuilder, ExecutorKind, MoodConfig};
 use mood_geo::Grid;
 use mood_metrics::CountQueryStats;
 use mood_synth::presets;
@@ -28,11 +29,15 @@ USAGE:
   mood split   --input <file.csv> --train <out.csv> --test <out.csv>
                [--train-days <n=15>]
   mood protect --input <test.csv> --background <train.csv> --out <file.csv>
-               [--report <file.json>] [--threads <n>] [--delta-hours <n=4>]
-               [--window-hours <n=24>] [--seed <n>]
+               [--report <file.json>] [--threads <n>] [--executor <sequential|pool|steal>]
+               [--delta-hours <n=4>] [--window-hours <n=24>] [--seed <n>] [--quiet <0|1>]
   mood attack  --input <file.csv> --background <train.csv>
   mood eval    --original <file.csv> --protected <file.csv> [--cell-m <n=800>]
   mood help
+
+`mood protect` streams per-user progress to stderr as results complete;
+--executor selects the execution backend for the user-level fan-out
+(default: steal, a work-stealing pool).
 ";
 
 fn main() -> ExitCode {
@@ -113,7 +118,11 @@ fn cmd_synth(opts: &HashMap<String, String>) -> Result<(), String> {
     if let Some(seed) = opts.get("seed") {
         spec.seed = seed.parse().map_err(|_| "invalid --seed".to_string())?;
     }
-    let spec = if scale < 1.0 { spec.scaled(scale) } else { spec };
+    let spec = if scale < 1.0 {
+        spec.scaled(scale)
+    } else {
+        spec
+    };
     let ds = spec.generate();
     trace_io::write_csv_file(&ds, out).map_err(|e| e.to_string())?;
     println!(
@@ -153,8 +162,15 @@ fn cmd_protect(opts: &HashMap<String, String>) -> Result<(), String> {
     let threads: usize = parse_or(
         opts,
         "threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     )?;
+    let executor_kind: ExecutorKind = match opts.get("executor") {
+        None => ExecutorKind::WorkStealing,
+        Some(name) => name.parse()?,
+    };
+    let quiet: u8 = parse_or(opts, "quiet", 0)?;
     let delta_hours: i64 = parse_or(opts, "delta-hours", 4)?;
     let window_hours: i64 = parse_or(opts, "window-hours", 24)?;
     let seed: u64 = parse_or(opts, "seed", MoodConfig::paper_default().seed)?;
@@ -168,30 +184,50 @@ fn cmd_protect(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err("input datasets must not be empty".into());
     }
     println!(
-        "protecting {} users / {} records against POI+PIT+AP attacks...",
+        "protecting {} users / {} records against POI+PIT+AP attacks \
+         [{executor_kind} executor, {threads} threads]...",
         test.user_count(),
         test.record_count()
     );
 
-    let base = MoodEngine::paper_default(&background);
-    let mut config = *base.config();
+    let mut config = MoodConfig::paper_default();
     config.delta = TimeDelta::from_hours(delta_hours);
     config.initial_window = Some(TimeDelta::from_hours(window_hours));
     config.seed = seed;
-    let engine = MoodEngine::new(
-        std::sync::Arc::new(mood_attacks::AttackSuite::train(
-            &[
-                &mood_attacks::PoiAttack::paper_default() as &dyn mood_attacks::Attack,
-                &mood_attacks::PitAttack::paper_default(),
-                &mood_attacks::ApAttack::paper_default(),
-            ],
-            &background,
-        )),
-        base.lppms().to_vec(),
-        config,
-    );
+    // The thread budget goes to the user-level fan-out; the engine
+    // keeps its sequential candidate executor. Parallelizing both
+    // levels with the full budget would oversubscribe (threads ×
+    // candidate batches of scoped threads per recursive split) and is
+    // only worth it when users ≪ cores — batch protection is the
+    // opposite regime.
+    let executor = executor_kind.build(threads.max(1));
+    let engine = EngineBuilder::paper_default(&background)
+        .config(config)
+        .build()
+        .map_err(|e| e.to_string())?;
 
-    let report = protect_dataset(&engine, &test, threads.max(1));
+    // Stream per-user outcomes to stderr as they complete: on large
+    // datasets the operator sees orphan users the moment they are
+    // found, not minutes later when the whole batch lands.
+    let total = test.user_count();
+    let mut done = 0usize;
+    let mut orphans = 0usize;
+    let report = mood_core::protect_stream(&engine, &test, executor.as_ref(), |outcome| {
+        done += 1;
+        if outcome.class.is_orphan() {
+            orphans += 1;
+        }
+        if quiet == 0 {
+            eprint!(
+                "\r  [{done}/{total}] protected, {orphans} orphan users (last: {} -> {})   ",
+                outcome.user, outcome.class
+            );
+            let _ = std::io::stderr().flush();
+        }
+    });
+    if quiet == 0 {
+        eprintln!();
+    }
     let (published, _ground_truth) = publish(report.outcomes());
     trace_io::write_csv_file(&published, out).map_err(|e| e.to_string())?;
 
@@ -205,8 +241,7 @@ fn cmd_protect(opts: &HashMap<String, String>) -> Result<(), String> {
         published.user_count()
     );
     if let Some(report_path) = opts.get("report") {
-        let json = serde_json::to_string_pretty(&report.summary())
-            .map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&report.summary()).map_err(|e| e.to_string())?;
         std::fs::write(report_path, json).map_err(|e| e.to_string())?;
         println!("report -> {report_path}");
     }
@@ -298,6 +333,18 @@ mod tests {
         assert_eq!(parse_or(&opts, "threads", 4usize).unwrap(), 7);
         opts.insert("threads".into(), "x".into());
         assert!(parse_or(&opts, "threads", 4usize).is_err());
+    }
+
+    #[test]
+    fn executor_flag_values_parse() {
+        for (name, expected) in [
+            ("sequential", ExecutorKind::Sequential),
+            ("pool", ExecutorKind::ScopedPool),
+            ("steal", ExecutorKind::WorkStealing),
+        ] {
+            assert_eq!(name.parse::<ExecutorKind>().unwrap(), expected);
+        }
+        assert!("gpu".parse::<ExecutorKind>().is_err());
     }
 
     #[test]

@@ -43,21 +43,36 @@ impl MoodConfig {
         }
     }
 
+    /// Validates the configuration, reporting the first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad parameter when δ or the initial
+    /// window is non-positive, or when `max_composition_len` is zero.
+    pub fn check(&self) -> Result<(), String> {
+        if self.delta.as_secs() <= 0 {
+            return Err("delta must be positive".to_string());
+        }
+        if let Some(w) = self.initial_window {
+            if w.as_secs() <= 0 {
+                return Err("initial window must be positive".to_string());
+            }
+        }
+        if self.max_composition_len < 1 {
+            return Err("composition length must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
-    /// Panics when δ or the initial window is non-positive, or when
-    /// `max_composition_len` is zero — all configuration errors.
+    /// Panics when [`MoodConfig::check`] fails.
     pub fn validate(&self) {
-        assert!(self.delta.as_secs() > 0, "delta must be positive");
-        if let Some(w) = self.initial_window {
-            assert!(w.as_secs() > 0, "initial window must be positive");
+        if let Err(message) = self.check() {
+            panic!("{message}");
         }
-        assert!(
-            self.max_composition_len >= 1,
-            "composition length must be at least 1"
-        );
     }
 }
 

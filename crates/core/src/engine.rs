@@ -8,9 +8,159 @@ use mood_lppm::{enumerate_compositions, Composition, GeoI, Hmc, Lppm, Trl};
 use mood_metrics::spatio_temporal_distortion;
 use mood_trace::{Dataset, Trace};
 
+use crate::exec::{self, CandidateJob, Executor, SequentialExecutor};
 use crate::{
     FineGrainedStats, MoodConfig, ProtectedTrace, ProtectionOutcome, UserClass, UserProtection,
 };
+
+/// Why an [`EngineBuilder`] could not produce an engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The base LPPM set was empty — MooD needs at least one mechanism
+    /// to search over.
+    EmptyLppmSet,
+    /// The configuration failed validation; the message names the bad
+    /// parameter.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::EmptyLppmSet => f.write_str("MooD needs at least one LPPM"),
+            EngineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Fallible, fluent construction of a [`MoodEngine`]: custom LPPM sets,
+/// attack suites, composition depth and execution backend — the
+/// `Result`-based replacement for the panicking [`MoodEngine::new`].
+///
+/// # Examples
+///
+/// ```
+/// use mood_core::{EngineBuilder, ExecutorKind};
+/// use mood_synth::presets;
+/// use mood_trace::TimeDelta;
+///
+/// let ds = presets::privamov_like().scaled(0.15).generate();
+/// let (background, test) = ds.split_chronological(TimeDelta::from_days(15));
+/// let engine = EngineBuilder::paper_default(&background)
+///     .executor(ExecutorKind::WorkStealing.build(4))
+///     .seed(7)
+///     .build()
+///     .expect("paper defaults are valid");
+/// let victim = test.iter().next().unwrap();
+/// assert_eq!(engine.protect_user(victim).user, victim.user());
+/// ```
+pub struct EngineBuilder {
+    suite: Arc<AttackSuite>,
+    lppms: Vec<Arc<dyn Lppm>>,
+    config: MoodConfig,
+    executor: Arc<dyn Executor>,
+}
+
+impl EngineBuilder {
+    /// Starts a builder from a trained attack suite, with an empty LPPM
+    /// set, the paper configuration and the sequential executor.
+    pub fn new(suite: Arc<AttackSuite>) -> Self {
+        Self {
+            suite,
+            lppms: Vec::new(),
+            config: MoodConfig::paper_default(),
+            executor: Arc::new(SequentialExecutor),
+        }
+    }
+
+    /// Starts from the paper's full setup: POI/PIT/AP attacks trained on
+    /// `background` and the LPPM set {Geo-I, TRL, HMC}.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `background` is empty (attack training requires at
+    /// least one profile).
+    pub fn paper_default(background: &Dataset) -> Self {
+        let suite = AttackSuite::train(
+            &[
+                &PoiAttack::paper_default() as &dyn Attack,
+                &PitAttack::paper_default(),
+                &ApAttack::paper_default(),
+            ],
+            background,
+        );
+        Self::new(Arc::new(suite)).lppms(vec![
+            Arc::new(GeoI::paper_default()),
+            Arc::new(Trl::paper_default()),
+            Arc::new(Hmc::paper_default(background)),
+        ])
+    }
+
+    /// Replaces the base LPPM set.
+    pub fn lppms(mut self, lppms: Vec<Arc<dyn Lppm>>) -> Self {
+        self.lppms = lppms;
+        self
+    }
+
+    /// Appends one LPPM to the base set.
+    pub fn lppm(mut self, lppm: Arc<dyn Lppm>) -> Self {
+        self.lppms.push(lppm);
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: MoodConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the engine seed (bit-for-bit reproducible protection).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Caps the composition length explored by the search.
+    pub fn max_composition_len(mut self, len: usize) -> Self {
+        self.config.max_composition_len = len;
+        self
+    }
+
+    /// Sets the candidate-evaluation executor (see [`crate::exec`]).
+    pub fn executor(mut self, executor: Arc<dyn Executor>) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::EmptyLppmSet`] when no LPPM was provided
+    /// and [`EngineError::InvalidConfig`] when the configuration fails
+    /// validation.
+    pub fn build(self) -> Result<MoodEngine, EngineError> {
+        if self.lppms.is_empty() {
+            return Err(EngineError::EmptyLppmSet);
+        }
+        self.config.check().map_err(EngineError::InvalidConfig)?;
+        let max_len = self.config.max_composition_len.min(self.lppms.len());
+        let compositions = if max_len >= 2 {
+            enumerate_compositions(&self.lppms, 2, max_len)
+        } else {
+            Vec::new()
+        };
+        Ok(MoodEngine {
+            suite: self.suite,
+            base: self.lppms,
+            compositions,
+            config: self.config,
+            executor: self.executor,
+        })
+    }
+}
 
 /// The MooD engine: Algorithm 1 of the paper, wired to an attack suite,
 /// a base LPPM set and a configuration.
@@ -38,31 +188,43 @@ pub struct MoodEngine {
     base: Vec<Arc<dyn Lppm>>,
     compositions: Vec<Composition>,
     config: MoodConfig,
+    executor: Arc<dyn Executor>,
+}
+
+impl std::fmt::Debug for MoodEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MoodEngine")
+            .field("attacks", &self.suite.len())
+            .field(
+                "lppms",
+                &self.base.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
+            .field("compositions", &self.compositions.len())
+            .field("config", &self.config)
+            .field("executor", &self.executor.name())
+            .finish()
+    }
 }
 
 impl MoodEngine {
     /// Creates an engine from a trained attack suite, a base LPPM set
     /// `L`, and a configuration. The composition space `C − L` is
-    /// enumerated eagerly (it is tiny: 12 chains for n = 3).
+    /// enumerated eagerly (it is tiny: 12 chains for n = 3). Candidate
+    /// evaluation runs on the sequential executor; use
+    /// [`EngineBuilder`] to choose a parallel backend.
     ///
     /// # Panics
     ///
-    /// Panics when `base` is empty or the configuration is invalid.
+    /// Panics when `base` is empty or the configuration is invalid. The
+    /// non-panicking equivalent is [`EngineBuilder::build`].
     pub fn new(suite: Arc<AttackSuite>, base: Vec<Arc<dyn Lppm>>, config: MoodConfig) -> Self {
         assert!(!base.is_empty(), "MooD needs at least one LPPM");
         config.validate();
-        let max_len = config.max_composition_len.min(base.len());
-        let compositions = if max_len >= 2 {
-            enumerate_compositions(&base, 2, max_len)
-        } else {
-            Vec::new()
-        };
-        Self {
-            suite,
-            base,
-            compositions,
-            config,
-        }
+        EngineBuilder::new(suite)
+            .lppms(base)
+            .config(config)
+            .build()
+            .expect("inputs validated above")
     }
 
     /// The paper's full setup: POI/PIT/AP attacks trained on
@@ -73,20 +235,9 @@ impl MoodEngine {
     ///
     /// Panics when `background` is empty.
     pub fn paper_default(background: &Dataset) -> Self {
-        let suite = AttackSuite::train(
-            &[
-                &PoiAttack::paper_default() as &dyn Attack,
-                &PitAttack::paper_default(),
-                &ApAttack::paper_default(),
-            ],
-            background,
-        );
-        let base: Vec<Arc<dyn Lppm>> = vec![
-            Arc::new(GeoI::paper_default()),
-            Arc::new(Trl::paper_default()),
-            Arc::new(Hmc::paper_default(background)),
-        ];
-        Self::new(Arc::new(suite), base, MoodConfig::paper_default())
+        EngineBuilder::paper_default(background)
+            .build()
+            .expect("paper defaults are valid")
     }
 
     /// The trained attack suite driving the resilience checks.
@@ -115,6 +266,11 @@ impl MoodEngine {
         &self.config
     }
 
+    /// The executor candidate evaluations run on.
+    pub fn executor(&self) -> &dyn Executor {
+        self.executor.as_ref()
+    }
+
     /// Deterministic RNG for one (trace, variant) application: derived
     /// from the engine seed, the trace's user, its start time (so each
     /// sub-trace draws fresh noise) and the variant index.
@@ -131,31 +287,70 @@ impl MoodEngine {
         StdRng::seed_from_u64(h)
     }
 
-    /// Tries every variant in `variants`, keeping the resilient one with
-    /// the lowest spatio-temporal distortion (Best LPPM Selection,
-    /// §3.5). Variant indices offset by `idx_base` keep single and
-    /// composition RNG streams disjoint.
-    fn best_resilient<'a, I>(&self, trace: &Trace, variants: I, idx_base: usize) -> Option<ProtectedTrace>
+    /// Evaluates one candidate job: applies the variant under its
+    /// derived RNG stream and judges it against the attack suite.
+    /// Returns `None` for non-resilient candidates.
+    fn evaluate_candidate(&self, trace: &Trace, job: CandidateJob<'_>) -> Option<ProtectedTrace> {
+        let mut rng = self.variant_rng(trace, job.variant_idx);
+        let candidate = job.lppm.protect(trace, &mut rng);
+        if !self.suite.protects(&candidate, trace.user()) {
+            return None;
+        }
+        let distortion = spatio_temporal_distortion(trace, &candidate);
+        Some(ProtectedTrace {
+            trace: candidate,
+            lppm: job.lppm.name().to_string(),
+            distortion_m: distortion,
+        })
+    }
+
+    /// Submits every candidate job to the engine's executor and returns
+    /// the verdicts in job order — independent of backend and thread
+    /// count, since each job's randomness is a pure function of its
+    /// variant index.
+    pub fn evaluate_candidates(
+        &self,
+        trace: &Trace,
+        jobs: &[CandidateJob<'_>],
+    ) -> Vec<Option<ProtectedTrace>> {
+        exec::map_indexed(self.executor.as_ref(), jobs.len(), |i| {
+            self.evaluate_candidate(trace, jobs[i])
+        })
+    }
+
+    /// Tries every variant in `variants`, keeping the resilient one
+    /// ranked first by `(distortion, variant_idx)` (Best LPPM Selection,
+    /// §3.5; the index tiebreak pins ties to the earliest variant, which
+    /// is what the sequential reference scan selected). Variant indices
+    /// offset by `idx_base` keep single and composition RNG streams
+    /// disjoint.
+    fn best_resilient<'a, I>(
+        &self,
+        trace: &Trace,
+        variants: I,
+        idx_base: usize,
+    ) -> Option<ProtectedTrace>
     where
         I: IntoIterator<Item = &'a dyn Lppm>,
     {
-        let mut best: Option<ProtectedTrace> = None;
-        for (i, lppm) in variants.into_iter().enumerate() {
-            let mut rng = self.variant_rng(trace, idx_base + i);
-            let candidate = lppm.protect(trace, &mut rng);
-            if !self.suite.protects(&candidate, trace.user()) {
-                continue;
-            }
-            let distortion = spatio_temporal_distortion(trace, &candidate);
-            if best.as_ref().is_none_or(|b| distortion < b.distortion_m) {
-                best = Some(ProtectedTrace {
-                    trace: candidate,
-                    lppm: lppm.name().to_string(),
-                    distortion_m: distortion,
-                });
-            }
-        }
-        best
+        let jobs: Vec<CandidateJob<'_>> = variants
+            .into_iter()
+            .enumerate()
+            .map(|(i, lppm)| CandidateJob {
+                variant_idx: idx_base + i,
+                lppm,
+            })
+            .collect();
+        self.evaluate_candidates(trace, &jobs)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, verdict)| verdict.map(|p| (i, p)))
+            .min_by(|(ia, a), (ib, b)| {
+                a.distortion_m
+                    .total_cmp(&b.distortion_m)
+                    .then_with(|| ia.cmp(ib))
+            })
+            .map(|(_, p)| p)
     }
 
     /// Single-LPPM stage (Algorithm 1 lines 4–14): the resilient single
@@ -224,16 +419,16 @@ impl MoodEngine {
     /// Protects one user's trace end to end (Algorithm 1 plus the §4.2
     /// experimental protocol) and classifies the user.
     pub fn protect_user(&self, trace: &Trace) -> UserProtection {
-        let naturally_protected = self.suite.protects(trace, trace.user());
-
-        // Whole-trace search: singles, then compositions.
-        let single = self.search_single(trace);
-        let whole = match single {
-            Some(p) => Some((p, false)),
-            None => self.search_composition(trace).map(|p| (p, true)),
+        // The raw-trace check runs the attacks concurrently when the
+        // executor has threads to spare; the verdict is the same either
+        // way (a union over attacks), so determinism is unaffected.
+        let naturally_protected = if self.executor.max_threads() > 1 {
+            self.suite.protects_concurrent(trace, trace.user())
+        } else {
+            self.suite.protects(trace, trace.user())
         };
 
-        if let Some((protected, via_composition)) = whole {
+        if let Some((protected, via_composition)) = self.search_whole(trace) {
             let class = if naturally_protected {
                 UserClass::NaturallyProtected
             } else if via_composition {
@@ -453,10 +648,7 @@ mod tests {
         for trace in test.iter().take(3) {
             let r = engine.protect_user(trace);
             if let crate::ProtectionOutcome::FineGrained { stats, .. } = &r.outcome {
-                assert_eq!(
-                    stats.records_published + stats.records_dropped,
-                    trace.len()
-                );
+                assert_eq!(stats.records_published + stats.records_dropped, trace.len());
             }
         }
     }
@@ -504,6 +696,95 @@ mod tests {
         let r = engine.protect_user(trace);
         for p in r.outcome.published() {
             assert!(engine.suite().protects(&p.trace, trace.user()));
+        }
+    }
+
+    #[test]
+    fn builder_rejects_empty_lppm_set() {
+        let (bg, _) = mini_world();
+        let suite = Arc::new(AttackSuite::train(
+            &[&ApAttack::paper_default() as &dyn Attack],
+            &bg,
+        ));
+        let err = EngineBuilder::new(suite).build().unwrap_err();
+        assert_eq!(err, EngineError::EmptyLppmSet);
+        assert!(err.to_string().contains("at least one LPPM"));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_config() {
+        let (bg, _) = mini_world();
+        let mut config = MoodConfig::paper_default();
+        config.delta = mood_trace::TimeDelta::from_secs(0);
+        let err = EngineBuilder::paper_default(&bg)
+            .config(config)
+            .build()
+            .unwrap_err();
+        match err {
+            EngineError::InvalidConfig(msg) => assert!(msg.contains("delta")),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_customizes_seed_depth_and_executor() {
+        let (bg, _) = mini_world();
+        let engine = EngineBuilder::paper_default(&bg)
+            .seed(99)
+            .max_composition_len(1)
+            .executor(crate::ExecutorKind::WorkStealing.build(4))
+            .build()
+            .unwrap();
+        assert_eq!(engine.config().seed, 99);
+        assert!(engine.compositions().is_empty());
+        assert_eq!(engine.executor().name(), "steal");
+        assert_eq!(engine.executor().max_threads(), 4);
+    }
+
+    #[test]
+    fn protection_is_identical_across_candidate_executors() {
+        let (bg, test) = mini_world();
+        let reference = MoodEngine::paper_default(&bg);
+        for kind in crate::ExecutorKind::all() {
+            for threads in [1usize, 2, 8] {
+                let engine = EngineBuilder::paper_default(&bg)
+                    .executor(kind.build(threads))
+                    .build()
+                    .unwrap();
+                for trace in test.iter().take(4) {
+                    assert_eq!(
+                        engine.protect_user(trace),
+                        reference.protect_user(trace),
+                        "{kind} x{threads} diverged on {}",
+                        trace.user()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_candidates_reports_in_job_order() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        let trace = test.iter().next().unwrap();
+        let jobs: Vec<crate::CandidateJob<'_>> = engine
+            .lppms()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| crate::CandidateJob {
+                variant_idx: i,
+                lppm: l as &dyn Lppm,
+            })
+            .collect();
+        let verdicts = engine.evaluate_candidates(trace, &jobs);
+        assert_eq!(verdicts.len(), jobs.len());
+        // Resilient verdicts must agree with a direct re-derivation.
+        for (i, v) in verdicts.iter().enumerate() {
+            let mut rng = engine.variant_rng(trace, i);
+            let cand = engine.lppms()[i].protect(trace, &mut rng);
+            let resilient = engine.suite().protects(&cand, trace.user());
+            assert_eq!(v.is_some(), resilient, "variant {i}");
         }
     }
 

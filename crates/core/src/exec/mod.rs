@@ -1,0 +1,251 @@
+//! The execution layer: *what* the engine evaluates, decoupled from
+//! *how* it runs.
+//!
+//! MooD's hot path is a per-user search over LPPM candidates (singles,
+//! then compositions, then recursive sub-trace searches — Algorithm 1).
+//! Every candidate evaluation is independent: the per-variant RNG
+//! derivation in [`crate::MoodEngine`] makes the work embarrassingly
+//! parallel *and* order-free, so any scheduler produces bit-for-bit the
+//! same protection as long as results are keyed by their submission
+//! index. The [`Executor`] trait captures exactly that contract:
+//!
+//! * [`SequentialExecutor`] — runs tasks inline; zero overhead, the
+//!   reference backend;
+//! * [`ScopedPoolExecutor`] — static chunking over scoped threads; best
+//!   when tasks are uniform;
+//! * [`WorkStealingExecutor`] — per-worker deques with steal-half
+//!   balancing; best for MooD's skewed workloads, where one orphan user
+//!   can cost orders of magnitude more than a naturally protected one.
+//!
+//! [`protect_dataset`](crate::protect_dataset) layers the same
+//! abstraction twice: across users, and (through the engine's own
+//! executor) across the candidates of each user.
+
+mod pool;
+mod sequential;
+mod stealing;
+
+pub use pool::ScopedPoolExecutor;
+pub use sequential::SequentialExecutor;
+pub use stealing::WorkStealingExecutor;
+
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
+
+use mood_lppm::Lppm;
+
+/// An index-parallel execution backend.
+///
+/// The single primitive — [`Executor::for_each_index`] — runs a task
+/// for every index in `0..n`, in any order, on any number of threads.
+/// Callers that need results use [`map_indexed`], which stores each
+/// task's output in its own slot so the outcome is independent of
+/// scheduling.
+///
+/// Implementations must invoke the task **exactly once per index** and
+/// must not return before every invocation has finished.
+pub trait Executor: Send + Sync {
+    /// Human-readable backend name (CLI/report labels).
+    fn name(&self) -> &'static str;
+
+    /// Upper bound on worker threads this backend will use.
+    fn max_threads(&self) -> usize;
+
+    /// Runs `task(i)` for every `i` in `0..n`, returning when all
+    /// invocations are complete.
+    fn for_each_index(&self, n: usize, task: &(dyn Fn(usize) + Sync));
+}
+
+/// Runs `f` over `0..n` on `executor` and collects the results in index
+/// order — deterministic for any backend and thread count.
+pub fn map_indexed<T, F>(executor: &dyn Executor, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    executor.for_each_index(n, &|i| {
+        let value = f(i);
+        let prev = slots[i].lock().expect("slot lock").replace(value);
+        assert!(prev.is_none(), "executor ran index {i} twice");
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("slot lock")
+                .unwrap_or_else(|| panic!("executor never ran index {i}"))
+        })
+        .collect()
+}
+
+/// Which execution backend to build — the CLI- and config-facing name
+/// of the execution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Run everything inline on the calling thread.
+    Sequential,
+    /// Scoped threads with static index chunking.
+    ScopedPool,
+    /// Scoped threads with work-stealing deques (the default for
+    /// batch protection).
+    WorkStealing,
+}
+
+impl ExecutorKind {
+    /// Every kind, in presentation order.
+    pub fn all() -> [ExecutorKind; 3] {
+        [
+            ExecutorKind::Sequential,
+            ExecutorKind::ScopedPool,
+            ExecutorKind::WorkStealing,
+        ]
+    }
+
+    /// Builds the backend with the given thread budget (clamped to at
+    /// least 1; the sequential backend ignores it).
+    pub fn build(self, threads: usize) -> Arc<dyn Executor> {
+        let threads = threads.max(1);
+        match self {
+            ExecutorKind::Sequential => Arc::new(SequentialExecutor),
+            ExecutorKind::ScopedPool => Arc::new(ScopedPoolExecutor::new(threads)),
+            ExecutorKind::WorkStealing => Arc::new(WorkStealingExecutor::new(threads)),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ExecutorKind::Sequential => "sequential",
+            ExecutorKind::ScopedPool => "pool",
+            ExecutorKind::WorkStealing => "steal",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for ExecutorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sequential" | "seq" => Ok(ExecutorKind::Sequential),
+            "pool" | "scoped" | "scoped-pool" => Ok(ExecutorKind::ScopedPool),
+            "steal" | "ws" | "work-stealing" => Ok(ExecutorKind::WorkStealing),
+            other => Err(format!(
+                "unknown executor '{other}' (expected sequential|pool|steal)"
+            )),
+        }
+    }
+}
+
+/// One unit of engine work: apply variant `variant_idx` (an LPPM or a
+/// composition chain) to a trace and judge the result.
+///
+/// The variant index doubles as the RNG-stream selector — see
+/// [`crate::MoodEngine`]'s per-variant RNG derivation — which is what
+/// makes candidate evaluation schedulable in any order.
+#[derive(Clone, Copy)]
+pub struct CandidateJob<'a> {
+    /// Global variant index (singles first, then compositions).
+    pub variant_idx: usize,
+    /// The mechanism to apply.
+    pub lppm: &'a dyn Lppm,
+}
+
+impl std::fmt::Debug for CandidateJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CandidateJob")
+            .field("variant_idx", &self.variant_idx)
+            .field("lppm", &self.lppm.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn backends() -> Vec<Arc<dyn Executor>> {
+        vec![
+            ExecutorKind::Sequential.build(1),
+            ExecutorKind::ScopedPool.build(4),
+            ExecutorKind::WorkStealing.build(4),
+            ExecutorKind::WorkStealing.build(1),
+            ExecutorKind::ScopedPool.build(16),
+        ]
+    }
+
+    #[test]
+    fn map_indexed_is_identical_across_backends() {
+        let expected: Vec<u64> = (0..257u64).map(|i| i * i).collect();
+        for exec in backends() {
+            let got = map_indexed(exec.as_ref(), 257, |i| (i as u64) * (i as u64));
+            assert_eq!(got, expected, "backend {}", exec.name());
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        for exec in backends() {
+            let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            exec.for_each_index(100, &|i| {
+                counters[i].fetch_add(1, Ordering::SeqCst);
+            });
+            for (i, c) in counters.iter().enumerate() {
+                assert_eq!(c.load(Ordering::SeqCst), 1, "index {i} on {}", exec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        for exec in backends() {
+            let empty: Vec<usize> = map_indexed(exec.as_ref(), 0, |i| i);
+            assert!(empty.is_empty());
+            let one = map_indexed(exec.as_ref(), 1, |i| i + 41);
+            assert_eq!(one, vec![41]);
+        }
+    }
+
+    #[test]
+    fn skewed_workloads_complete() {
+        // One task much slower than the rest: stealing must still cover
+        // every index exactly once.
+        let exec = ExecutorKind::WorkStealing.build(4);
+        let got = map_indexed(exec.as_ref(), 64, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kind_parses_and_displays() {
+        for kind in ExecutorKind::all() {
+            let parsed: ExecutorKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!(
+            "seq".parse::<ExecutorKind>().unwrap(),
+            ExecutorKind::Sequential
+        );
+        assert_eq!(
+            "work-stealing".parse::<ExecutorKind>().unwrap(),
+            ExecutorKind::WorkStealing
+        );
+        assert!("quantum".parse::<ExecutorKind>().is_err());
+    }
+
+    #[test]
+    fn builders_report_threads() {
+        assert_eq!(ExecutorKind::Sequential.build(8).max_threads(), 1);
+        assert_eq!(ExecutorKind::ScopedPool.build(3).max_threads(), 3);
+        assert_eq!(ExecutorKind::WorkStealing.build(0).max_threads(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+use super::Executor;
+
+/// Scoped threads with static index chunking.
+///
+/// Indices `0..n` are split into one contiguous chunk per worker.
+/// There is no load balancing: with uniform tasks this has the lowest
+/// synchronization cost of the parallel backends, but a skewed chunk
+/// leaves its worker busy while the others idle (that's what
+/// [`super::WorkStealingExecutor`] fixes).
+#[derive(Debug, Clone, Copy)]
+pub struct ScopedPoolExecutor {
+    threads: usize,
+}
+
+impl ScopedPoolExecutor {
+    /// A pool using up to `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Executor for ScopedPoolExecutor {
+    fn name(&self) -> &'static str {
+        "pool"
+    }
+
+    fn max_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn for_each_index(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for i in 0..n {
+                task(i);
+            }
+            return;
+        }
+        // Chunk sizes differ by at most one: the first `rest` chunks
+        // take an extra index.
+        let base = n / workers;
+        let rest = n % workers;
+        std::thread::scope(|scope| {
+            let mut start = 0;
+            for w in 0..workers {
+                let len = base + usize::from(w < rest);
+                let range = start..start + len;
+                start += len;
+                scope.spawn(move || {
+                    for i in range {
+                        task(i);
+                    }
+                });
+            }
+        });
+    }
+}

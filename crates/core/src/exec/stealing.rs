@@ -1,0 +1,132 @@
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use super::Executor;
+
+/// Scoped threads with per-worker deques and steal-half balancing.
+///
+/// Each worker starts with a contiguous chunk of indices in its own
+/// deque and pops work from the front. A worker that runs dry scans its
+/// peers and steals the back half of the fullest deque it finds; the
+/// surplus goes into its own deque. A worker exits only once a full
+/// scan finds every deque empty **and** no steal is in transit (a
+/// stolen chunk briefly lives in the thief's stack between leaving the
+/// victim and landing in the thief's deque; the in-transit counter
+/// keeps peers from declaring the pool dry during that window).
+///
+/// MooD's per-user cost is heavily skewed — an orphan user triggers a
+/// recursive fine-grained search worth hundreds of candidate
+/// evaluations, a naturally protected user just one suite check — so
+/// stealing is what keeps all cores busy on real datasets.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkStealingExecutor {
+    threads: usize,
+}
+
+impl WorkStealingExecutor {
+    /// An executor using up to `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Executor for WorkStealingExecutor {
+    fn name(&self) -> &'static str {
+        "steal"
+    }
+
+    fn max_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn for_each_index(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for i in 0..n {
+                task(i);
+            }
+            return;
+        }
+
+        // One deque per worker, pre-filled with contiguous chunks so
+        // neighboring indices (often neighboring users) start on the
+        // same worker and stealing moves large, cache-friendly blocks.
+        let base = n / workers;
+        let rest = n % workers;
+        let mut start = 0;
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let len = base + usize::from(w < rest);
+                let chunk: VecDeque<usize> = (start..start + len).collect();
+                start += len;
+                Mutex::new(chunk)
+            })
+            .collect();
+        // Steals currently holding work outside any deque.
+        let in_transit = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let deques = &deques;
+                let in_transit = &in_transit;
+                scope.spawn(move || loop {
+                    // Fast path: own deque.
+                    let own = deques[w].lock().expect("deque lock").pop_front();
+                    if let Some(i) = own {
+                        task(i);
+                        continue;
+                    }
+                    // Steal: take the back half of the fullest peer.
+                    // The counter is raised before the victim is
+                    // drained and dropped only after the surplus is
+                    // back in a deque, so scanning peers never miss
+                    // work that is mid-flight.
+                    in_transit.fetch_add(1, Ordering::SeqCst);
+                    let mut stolen: Option<VecDeque<usize>> = None;
+                    let victim = (0..deques.len())
+                        .filter(|&v| v != w)
+                        .max_by_key(|&v| deques[v].lock().expect("deque lock").len());
+                    if let Some(v) = victim {
+                        let mut vq = deques[v].lock().expect("deque lock");
+                        let len = vq.len();
+                        if len > 0 {
+                            stolen = Some(vq.split_off(len - len.div_ceil(2)));
+                        }
+                    }
+                    let first = match &mut stolen {
+                        Some(chunk) => {
+                            let first = chunk.pop_front();
+                            if !chunk.is_empty() {
+                                deques[w]
+                                    .lock()
+                                    .expect("deque lock")
+                                    .extend(std::mem::take(chunk));
+                            }
+                            first
+                        }
+                        None => None,
+                    };
+                    in_transit.fetch_sub(1, Ordering::SeqCst);
+                    match first {
+                        Some(i) => task(i),
+                        None => {
+                            // Every deque was empty at scan time. If a
+                            // peer holds a chunk mid-steal, wait for it
+                            // to land and rescan; otherwise no
+                            // claimable work remains anywhere (indices
+                            // being executed are owned by their
+                            // claimants and are never re-queued).
+                            if in_transit.load(Ordering::SeqCst) == 0 {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

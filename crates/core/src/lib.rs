@@ -17,8 +17,12 @@
 //!   Selection;
 //! * [`HybridLppm`] — the strongest prior baseline (Maouche et al. 2017):
 //!   per-user selection of a single LPPM in a fixed distortion order;
+//! * [`exec`] — the execution layer: pluggable backends (sequential,
+//!   scoped pool, work-stealing) running candidate evaluations and
+//!   per-user protection with bit-for-bit identical results;
 //! * [`protect_dataset`] — the parallel dataset pipeline, producing a
-//!   [`ProtectionReport`] and a publishable pseudonymized dataset;
+//!   [`ProtectionReport`] and a publishable pseudonymized dataset
+//!   ([`protect_stream`] yields per-user results as they complete);
 //! * [`UserClass`] — the orphan-disease taxonomy of §3.1 (naturally
 //!   protected / single-LPPM / multi-LPPM / fine-grained / unprotectable).
 //!
@@ -43,6 +47,7 @@
 
 mod config;
 mod engine;
+pub mod exec;
 mod hybrid;
 mod outcome;
 mod pipeline;
@@ -50,9 +55,13 @@ mod report;
 mod split;
 
 pub use config::MoodConfig;
-pub use engine::MoodEngine;
+pub use engine::{EngineBuilder, EngineError, MoodEngine};
+pub use exec::{
+    CandidateJob, Executor, ExecutorKind, ScopedPoolExecutor, SequentialExecutor,
+    WorkStealingExecutor,
+};
 pub use hybrid::HybridLppm;
 pub use outcome::{FineGrainedStats, ProtectedTrace, ProtectionOutcome, UserClass, UserProtection};
-pub use pipeline::{protect_dataset, publish};
+pub use pipeline::{protect_dataset, protect_dataset_with, protect_stream, publish};
 pub use report::{DistortionEntry, ProtectionReport};
 pub use split::SplitStrategy;

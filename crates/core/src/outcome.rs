@@ -166,6 +166,8 @@ mod tests {
     #[test]
     fn display_names_are_informative() {
         assert!(UserClass::MultiLppm.to_string().contains("orphan"));
-        assert!(UserClass::NaturallyProtected.to_string().contains("naturally"));
+        assert!(UserClass::NaturallyProtected
+            .to_string()
+            .contains("naturally"));
     }
 }

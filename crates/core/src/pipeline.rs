@@ -1,16 +1,20 @@
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use mood_trace::{Dataset, PseudonymFactory, UserId};
 
+use crate::exec::{map_indexed, Executor, ExecutorKind};
 use crate::{MoodEngine, ProtectionReport, UserProtection};
 
 /// Protects every user of `dataset` with `engine`, fanning users out to
-/// `threads` worker threads (1 = sequential), and assembles the
-/// [`ProtectionReport`].
+/// `threads` workers of a work-stealing executor (1 = sequential), and
+/// assembles the [`ProtectionReport`].
 ///
-/// Results are deterministic regardless of `threads`: every user's
-/// randomness derives from the engine seed, and outcomes are re-sorted
-/// by user before reporting.
+/// This is the convenience entry point; [`protect_dataset_with`] takes
+/// an explicit [`Executor`] and [`protect_stream`] yields per-user
+/// results as they complete. Results are deterministic regardless of
+/// backend and thread count: every user's randomness derives from the
+/// engine seed, and outcomes are keyed by user before reporting.
 ///
 /// # Panics
 ///
@@ -31,33 +35,52 @@ use crate::{MoodEngine, ProtectionReport, UserProtection};
 /// ```
 pub fn protect_dataset(engine: &MoodEngine, dataset: &Dataset, threads: usize) -> ProtectionReport {
     assert!(threads > 0, "need at least one worker thread");
+    let executor = ExecutorKind::WorkStealing.build(threads);
+    protect_dataset_with(engine, dataset, executor.as_ref())
+}
+
+/// Protects every user of `dataset`, running users on `executor` — the
+/// outer level of MooD's two-level parallelism (the inner level, across
+/// candidate variants, runs on the engine's own executor).
+pub fn protect_dataset_with(
+    engine: &MoodEngine,
+    dataset: &Dataset,
+    executor: &dyn Executor,
+) -> ProtectionReport {
     let traces: Vec<&mood_trace::Trace> = dataset.iter().collect();
-    let mut outcomes: Vec<UserProtection> = if threads == 1 || traces.len() <= 1 {
-        traces.iter().map(|t| engine.protect_user(t)).collect()
-    } else {
-        let (tx, rx) = crossbeam_channel::unbounded::<&mood_trace::Trace>();
-        for t in &traces {
-            tx.send(t).expect("channel open");
-        }
-        drop(tx);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..threads.min(traces.len()) {
-                let rx = rx.clone();
-                handles.push(scope.spawn(move || {
-                    let mut local = Vec::new();
-                    while let Ok(trace) = rx.recv() {
-                        local.push(engine.protect_user(trace));
-                    }
-                    local
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-    };
+    let mut outcomes = map_indexed(executor, traces.len(), |i| engine.protect_user(traces[i]));
+    outcomes.sort_by_key(|o| o.user);
+    ProtectionReport::from_outcomes(outcomes)
+}
+
+/// Protects every user of `dataset`, invoking `sink` with each
+/// [`UserProtection`] **as it completes** — completion order, not user
+/// order — before assembling the final report.
+///
+/// This is the streaming entry point for the CLI's live progress and
+/// for service layers that forward per-user results while a large batch
+/// is still running. The sink is serialized (called under a lock), so
+/// it may hold `&mut` state without further synchronization; keep it
+/// cheap, since a slow sink backpressures the workers.
+///
+/// The returned report is identical to [`protect_dataset_with`] on the
+/// same engine and dataset, whatever the executor.
+pub fn protect_stream<F>(
+    engine: &MoodEngine,
+    dataset: &Dataset,
+    executor: &dyn Executor,
+    sink: F,
+) -> ProtectionReport
+where
+    F: FnMut(&UserProtection) + Send,
+{
+    let traces: Vec<&mood_trace::Trace> = dataset.iter().collect();
+    let sink = Mutex::new(sink);
+    let mut outcomes = map_indexed(executor, traces.len(), |i| {
+        let outcome = engine.protect_user(traces[i]);
+        (sink.lock().expect("sink lock"))(&outcome);
+        outcome
+    });
     outcomes.sort_by_key(|o| o.user);
     ProtectionReport::from_outcomes(outcomes)
 }
@@ -151,5 +174,37 @@ mod tests {
         let (bg, test) = mini_world();
         let engine = MoodEngine::paper_default(&bg);
         protect_dataset(&engine, &test, 0);
+    }
+
+    #[test]
+    fn explicit_executors_match_the_convenience_entry_point() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        let reference = protect_dataset(&engine, &test, 1);
+        for kind in ExecutorKind::all() {
+            let executor = kind.build(4);
+            let report = protect_dataset_with(&engine, &test, executor.as_ref());
+            assert_eq!(report, reference, "{kind} diverged");
+        }
+    }
+
+    #[test]
+    fn stream_sees_every_user_once_and_matches_batch() {
+        use std::collections::BTreeSet;
+
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        let batch = protect_dataset(&engine, &test, 2);
+
+        let executor = ExecutorKind::WorkStealing.build(4);
+        let mut seen: Vec<UserId> = Vec::new();
+        let streamed = crate::protect_stream(&engine, &test, executor.as_ref(), |outcome| {
+            seen.push(outcome.user);
+        });
+        assert_eq!(streamed, batch);
+        // completion order is arbitrary, but coverage is exact
+        let unique: BTreeSet<UserId> = seen.iter().copied().collect();
+        assert_eq!(seen.len(), test.user_count());
+        assert_eq!(unique.len(), test.user_count());
     }
 }

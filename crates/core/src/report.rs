@@ -113,9 +113,7 @@ impl ProtectionReport {
     pub fn composition_unprotected(&self) -> Vec<UserId> {
         self.outcomes
             .iter()
-            .filter(|o| {
-                matches!(o.outcome, ProtectionOutcome::FineGrained { .. })
-            })
+            .filter(|o| matches!(o.outcome, ProtectionOutcome::FineGrained { .. }))
             .map(|o| o.user)
             .collect()
     }
@@ -274,9 +272,9 @@ mod tests {
     #[test]
     fn distortion_bands_classify() {
         let report = ProtectionReport::from_outcomes(vec![
-            whole_outcome(1, 100, 200.0),  // Low
-            whole_outcome(2, 100, 700.0),  // Medium
-            fine_outcome(3, 60, 40),       // 1500 m -> High
+            whole_outcome(1, 100, 200.0), // Low
+            whole_outcome(2, 100, 700.0), // Medium
+            fine_outcome(3, 60, 40),      // 1500 m -> High
         ]);
         let bands = report.distortion_bands();
         assert_eq!(bands[&DistortionBand::Low], 1);

@@ -299,11 +299,15 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_box() -> impl Strategy<Value = BoundingBox> {
-        ((-60.0f64..60.0), (0.01f64..2.0), (-170.0f64..170.0), (0.01f64..2.0)).prop_map(
-            |(lat0, dlat, lng0, dlng)| {
-                BoundingBox::new(lat0, lat0 + dlat, lng0, lng0 + dlng).unwrap()
-            },
+        (
+            (-60.0f64..60.0),
+            (0.01f64..2.0),
+            (-170.0f64..170.0),
+            (0.01f64..2.0),
         )
+            .prop_map(|(lat0, dlat, lng0, dlng)| {
+                BoundingBox::new(lat0, lat0 + dlat, lng0, lng0 + dlng).unwrap()
+            })
     }
 
     proptest! {

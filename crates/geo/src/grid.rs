@@ -283,10 +283,13 @@ mod tests {
         for (row, col) in [(0, 0), (3, 5), (15, 16)] {
             let cell = CellId { row, col };
             let center = g.cell_center(cell);
-            assert_eq!(g.cell_of(&center), CellId {
-                row: row.min(g.rows() - 1),
-                col: col.min(g.cols() - 1)
-            });
+            assert_eq!(
+                g.cell_of(&center),
+                CellId {
+                    row: row.min(g.rows() - 1),
+                    col: col.min(g.cols() - 1)
+                }
+            );
         }
     }
 

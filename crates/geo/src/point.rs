@@ -67,8 +67,7 @@ impl GeoPoint {
         let (lat2, lng2) = (other.lat.to_radians(), other.lng.to_radians());
         let dlat = lat2 - lat1;
         let dlng = lng2 - lng1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlng / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlng / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().asin()
     }
 
@@ -110,11 +109,9 @@ impl GeoPoint {
         let theta = bearing_deg.to_radians();
         let lat1 = self.lat.to_radians();
         let lng1 = self.lng.to_radians();
-        let lat2 =
-            (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
         let lng2 = lng1
-            + (theta.sin() * delta.sin() * lat1.cos())
-                .atan2(delta.cos() - lat1.sin() * lat2.sin());
+            + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
         let lat_deg = lat2.to_degrees().clamp(-90.0, 90.0);
         let mut lng_deg = lng2.to_degrees();
         // normalize longitude into [-180, 180]
@@ -135,8 +132,7 @@ impl GeoPoint {
         let dlng = (other.lng - self.lng).to_radians();
         let bx = lat2.cos() * dlng.cos();
         let by = lat2.cos() * dlng.sin();
-        let lat3 = (lat1.sin() + lat2.sin())
-            .atan2(((lat1.cos() + bx).powi(2) + by * by).sqrt());
+        let lat3 = (lat1.sin() + lat2.sin()).atan2(((lat1.cos() + bx).powi(2) + by * by).sqrt());
         let lng3 = lng1 + by.atan2(lat1.cos() + bx);
         let mut lng_deg = lng3.to_degrees();
         while lng_deg > 180.0 {
@@ -172,8 +168,7 @@ impl GeoPoint {
         } else if lng < -180.0 {
             lng += 360.0;
         }
-        GeoPoint::new(lat.clamp(-90.0, 90.0), lng)
-            .expect("interpolation of valid points is valid")
+        GeoPoint::new(lat.clamp(-90.0, 90.0), lng).expect("interpolation of valid points is valid")
     }
 
     /// Centroid (arithmetic mean of coordinates) of a non-empty set of
@@ -197,10 +192,7 @@ impl GeoPoint {
             return None;
         }
         let nf = n as f64;
-        Some(
-            GeoPoint::new(lat_sum / nf, lng_sum / nf)
-                .expect("mean of valid coordinates is valid"),
-        )
+        Some(GeoPoint::new(lat_sum / nf, lng_sum / nf).expect("mean of valid coordinates is valid"))
     }
 }
 
@@ -385,8 +377,7 @@ mod proptests {
 
     fn arb_point() -> impl Strategy<Value = GeoPoint> {
         // Stay away from the poles where longitude degenerates.
-        (-80.0f64..80.0, -179.0f64..179.0)
-            .prop_map(|(lat, lng)| GeoPoint::new(lat, lng).unwrap())
+        (-80.0f64..80.0, -179.0f64..179.0).prop_map(|(lat, lng)| GeoPoint::new(lat, lng).unwrap())
     }
 
     proptest! {

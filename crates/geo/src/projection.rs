@@ -68,8 +68,7 @@ impl LocalProjection {
         while lng < -180.0 {
             lng += 360.0;
         }
-        GeoPoint::new(lat.clamp(-90.0, 90.0), lng)
-            .expect("clamped projected point is valid")
+        GeoPoint::new(lat.clamp(-90.0, 90.0), lng).expect("clamped projected point is valid")
     }
 
     /// Displaces `p` by `distance_m` meters in direction `bearing_deg`

@@ -285,10 +285,7 @@ mod tests {
         let t = walk(10);
         let g = GeoI::paper_default();
         let trl = Trl::paper_default();
-        let chain = Composition::new(vec![
-            Arc::new(g) as Arc<dyn Lppm>,
-            Arc::new(trl),
-        ]);
+        let chain = Composition::new(vec![Arc::new(g) as Arc<dyn Lppm>, Arc::new(trl)]);
         let mut r1 = StdRng::seed_from_u64(7);
         let mut r2 = StdRng::seed_from_u64(7);
         let composed = chain.protect(&t, &mut r1);

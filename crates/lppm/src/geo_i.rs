@@ -182,10 +182,7 @@ mod tests {
         let geo_i = GeoI::new(0.01);
         let mut rng = StdRng::seed_from_u64(42);
         let n = 20_000;
-        let mean: f64 = (0..n)
-            .map(|_| geo_i.sample_radius(&mut rng))
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 = (0..n).map(|_| geo_i.sample_radius(&mut rng)).sum::<f64>() / n as f64;
         // Gamma(2, 1/eps) mean = 2/eps = 200 m
         assert!((mean - 200.0).abs() < 5.0, "mean = {mean}");
     }

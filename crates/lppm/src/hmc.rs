@@ -300,8 +300,10 @@ mod tests {
 
     #[test]
     fn confuses_ap_style_matching_on_synthetic_data() {
+        // 0.4 scale = 16 users: small enough for CI, large enough that
+        // the majority claim is not dominated by per-user noise.
         use mood_synth::presets;
-        let ds = presets::privamov_like().scaled(0.2).generate();
+        let ds = presets::privamov_like().scaled(0.4).generate();
         let (bg, test) = ds.split_chronological(TimeDelta::from_days(15));
         let hmc = Hmc::paper_default(&bg);
         let grid = hmc.grid().clone();

@@ -59,15 +59,12 @@ impl LocationSearchService {
 
     /// The place nearest to `query`, or `None` for an empty service.
     pub fn nearest_place(&self, query: &GeoPoint) -> Option<GeoPoint> {
-        self.places
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                query
-                    .approx_distance(a)
-                    .partial_cmp(&query.approx_distance(b))
-                    .expect("distances are finite")
-            })
+        self.places.iter().copied().min_by(|a, b| {
+            query
+                .approx_distance(a)
+                .partial_cmp(&query.approx_distance(b))
+                .expect("distances are finite")
+        })
     }
 
     /// Distance in meters from `query` to the nearest place, or `None`

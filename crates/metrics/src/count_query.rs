@@ -60,8 +60,7 @@ impl CountQueryStats {
         let mut max_sum = 0.0f64;
         let mut union = 0usize;
         let mut inter = 0usize;
-        let keys: std::collections::BTreeSet<CellId> =
-            o.keys().chain(p.keys()).copied().collect();
+        let keys: std::collections::BTreeSet<CellId> = o.keys().chain(p.keys()).copied().collect();
         for k in &keys {
             let ov = o.get(k).copied().unwrap_or(0.0);
             let pv = p.get(k).copied().unwrap_or(0.0);
@@ -89,11 +88,19 @@ impl CountQueryStats {
             2.0 * recall * precision / (recall + precision)
         };
         CountQueryStats {
-            mean_absolute_error: if union == 0 { 0.0 } else { abs_err / union as f64 },
+            mean_absolute_error: if union == 0 {
+                0.0
+            } else {
+                abs_err / union as f64
+            },
             cell_recall: recall,
             cell_precision: precision,
             cell_f1: f1,
-            weighted_jaccard: if max_sum == 0.0 { 1.0 } else { min_sum / max_sum },
+            weighted_jaccard: if max_sum == 0.0 {
+                1.0
+            } else {
+                min_sum / max_sum
+            },
         }
     }
 }

@@ -147,8 +147,8 @@ mod tests {
     fn interpolates_between_records() {
         // original has records at t=0 and t=100; obfuscated record at
         // t=50 exactly at the midpoint -> zero distortion
-        let orig = Trace::new(UserId::new(1), vec![rec(46.0, 6.0, 0), rec(46.2, 6.0, 100)])
-            .unwrap();
+        let orig =
+            Trace::new(UserId::new(1), vec![rec(46.0, 6.0, 0), rec(46.2, 6.0, 100)]).unwrap();
         let obf = Trace::new(UserId::new(1), vec![rec(46.1, 6.0, 50)]).unwrap();
         let std = spatio_temporal_distortion(&orig, &obf);
         assert!(std < 1.0, "std = {std}");
@@ -157,8 +157,8 @@ mod tests {
     #[test]
     fn subtrace_timestamps_clamp() {
         // obfuscated record after original's end projects to last point
-        let orig = Trace::new(UserId::new(1), vec![rec(46.0, 6.0, 0), rec(46.1, 6.0, 100)])
-            .unwrap();
+        let orig =
+            Trace::new(UserId::new(1), vec![rec(46.0, 6.0, 0), rec(46.1, 6.0, 100)]).unwrap();
         let obf = Trace::new(UserId::new(1), vec![rec(46.1, 6.0, 10_000)]).unwrap();
         assert!(spatio_temporal_distortion(&orig, &obf) < 1.0);
     }
@@ -167,11 +167,7 @@ mod tests {
     fn more_records_in_obfuscated_is_fine() {
         // TRL-style 3x duplication: STD is an average, not a sum
         let t = line_trace();
-        let tripled: Vec<Record> = t
-            .records()
-            .iter()
-            .flat_map(|r| [*r, *r, *r])
-            .collect();
+        let tripled: Vec<Record> = t.records().iter().flat_map(|r| [*r, *r, *r]).collect();
         let t3 = Trace::new(UserId::new(1), tripled).unwrap();
         assert!(spatio_temporal_distortion(&t, &t3) < 1e-9);
     }

@@ -39,16 +39,17 @@ fn main() {
     let k = mmc.state_count().min(4);
     for i in 0..k {
         let pi = mmc.stationary()[i];
-        let row: Vec<String> = (0..k).map(|j| format!("{:.2}", mmc.transition(i, j))).collect();
-        println!("  state {i} (π = {pi:.2}): transitions [{}]", row.join(", "));
+        let row: Vec<String> = (0..k)
+            .map(|j| format!("{:.2}", mmc.transition(i, j)))
+            .collect();
+        println!(
+            "  state {i} (π = {pi:.2}): transitions [{}]",
+            row.join(", ")
+        );
     }
 
     // --- model 3: heatmap ---
-    let grid = Grid::new(
-        train.bounding_box().expect("non-empty"),
-        800.0,
-    )
-    .expect("valid cell size");
+    let grid = Grid::new(train.bounding_box().expect("non-empty"), 800.0).expect("valid cell size");
     let hm = Heatmap::from_trace(&grid, trace);
     println!(
         "\nheatmap: {} occupied cells of {} ({} m grid)",

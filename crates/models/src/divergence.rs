@@ -48,10 +48,7 @@ pub fn kl<K: Ord + Copy>(p: &BTreeMap<K, f64>, q: &BTreeMap<K, f64>) -> Option<f
 ///
 /// Returns `None` when either distribution is empty or has non-positive
 /// total mass.
-pub fn jensen_shannon<K: Ord + Copy>(
-    p: &BTreeMap<K, f64>,
-    q: &BTreeMap<K, f64>,
-) -> Option<f64> {
+pub fn jensen_shannon<K: Ord + Copy>(p: &BTreeMap<K, f64>, q: &BTreeMap<K, f64>) -> Option<f64> {
     topsoe(p, q).map(|t| t / 2.0)
 }
 

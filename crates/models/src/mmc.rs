@@ -111,11 +111,7 @@ impl MarkovChain {
                     next[j] += xi * transitions[i * n + j];
                 }
             }
-            let l1: f64 = x
-                .iter()
-                .zip(next.iter())
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let l1: f64 = x.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
             std::mem::swap(&mut x, &mut next);
             if l1 < CONVERGENCE_L1 {
                 break;

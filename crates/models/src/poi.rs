@@ -201,11 +201,8 @@ impl PoiProfile {
         let mut assignment = Vec::with_capacity(stays.len());
         for stay in stays {
             let found = aggs.iter().position(|a| {
-                let c = GeoPoint::new(
-                    a.sum_lat / a.records as f64,
-                    a.sum_lng / a.records as f64,
-                )
-                .expect("aggregate centroid valid");
+                let c = GeoPoint::new(a.sum_lat / a.records as f64, a.sum_lng / a.records as f64)
+                    .expect("aggregate centroid valid");
                 c.approx_distance(&stay.centroid) <= merge_distance_m
             });
             match found {
@@ -241,11 +238,8 @@ impl PoiProfile {
         let mut pois: Vec<Option<Poi>> = vec![None; aggs.len()];
         for (old_idx, a) in aggs.iter().enumerate() {
             pois[rank[old_idx]] = Some(Poi {
-                centroid: GeoPoint::new(
-                    a.sum_lat / a.records as f64,
-                    a.sum_lng / a.records as f64,
-                )
-                .expect("aggregate centroid valid"),
+                centroid: GeoPoint::new(a.sum_lat / a.records as f64, a.sum_lng / a.records as f64)
+                    .expect("aggregate centroid valid"),
                 record_count: a.records,
                 visit_count: a.visits,
                 total_dwell: a.dwell,

@@ -118,8 +118,7 @@ impl ResidentModel {
             let records = self.simulate_user(spec, user_idx, &anchors, &traits);
             if !records.is_empty() {
                 traces.push(
-                    Trace::new(UserId::new(user_idx as u64), records)
-                        .expect("non-empty records"),
+                    Trace::new(UserId::new(user_idx as u64), records).expect("non-empty records"),
                 );
             }
         }
@@ -142,7 +141,11 @@ impl ResidentModel {
         };
         let proj = LocalProjection::new(work);
         let lunch = proj
-            .displace(&work, rng.gen_range(0.0..360.0), rng.gen_range(200.0..500.0))
+            .displace(
+                &work,
+                rng.gen_range(0.0..360.0),
+                rng.gen_range(200.0..500.0),
+            )
             .expect("non-negative distance");
         let leisure = (0..2).map(|_| sample_point(rng)).collect();
         Anchors {
@@ -197,11 +200,7 @@ impl ResidentModel {
     ) -> Vec<Record> {
         let mut records = Vec::new();
         for day in 0..spec.days {
-            let mut rng = derive(
-                spec.seed,
-                STREAM_DAY,
-                (user_idx as u64) << 16 | day as u64,
-            );
+            let mut rng = derive(spec.seed, STREAM_DAY, (user_idx as u64) << 16 | day as u64);
             if rng.gen::<f64>() < traits.day_skip_prob {
                 continue;
             }
@@ -381,11 +380,7 @@ impl TaxiModel {
 
             let mut records = Vec::new();
             for day in 0..spec.days {
-                let mut rng = derive(
-                    spec.seed,
-                    STREAM_DAY,
-                    (user_idx as u64) << 16 | day as u64,
-                );
+                let mut rng = derive(spec.seed, STREAM_DAY, (user_idx as u64) << 16 | day as u64);
                 if rng.gen::<f64>() < day_skip {
                     continue;
                 }
@@ -408,8 +403,7 @@ impl TaxiModel {
             }
             if !records.is_empty() {
                 traces.push(
-                    Trace::new(UserId::new(user_idx as u64), records)
-                        .expect("non-empty records"),
+                    Trace::new(UserId::new(user_idx as u64), records).expect("non-empty records"),
                 );
             }
         }
@@ -462,14 +456,14 @@ impl TaxiModel {
             let deadhead = travel_time(&position, &pickup, TAXI_SPEED);
             plan.travel(position, pickup, t, t + deadhead);
             t += deadhead;
-            let wait = rng.gen_range(120..360);
+            let wait: i64 = rng.gen_range(120..360);
             plan.dwell(pickup, t, t + wait);
             t += wait;
             let dropoff = Self::pick_hotspot(hotspots, weights, bias, rng);
             let ride = travel_time(&pickup, &dropoff, TAXI_SPEED);
             plan.travel(pickup, dropoff, t, t + ride);
             t += ride;
-            let idle = rng.gen_range(300..900);
+            let idle: i64 = rng.gen_range(300..900);
             plan.dwell(dropoff, t, t + idle);
             t += idle;
             position = dropoff;
@@ -508,10 +502,7 @@ fn sample_plan(
                 } else {
                     p
                 };
-                out.push(Record::new(
-                    noisy,
-                    Timestamp::from_unix(day_offset_s + t),
-                ));
+                out.push(Record::new(noisy, Timestamp::from_unix(day_offset_s + t)));
             }
         }
         t += interval_s.max(1);
@@ -576,7 +567,10 @@ mod tests {
         let upper = spec.users as f64 * spec.days as f64 * per_day * 1.3;
         let lower = spec.users as f64 * spec.days as f64 * per_day * 0.3;
         let got = ds.record_count() as f64;
-        assert!(got > lower && got < upper, "volume {got}, [{lower}, {upper}]");
+        assert!(
+            got > lower && got < upper,
+            "volume {got}, [{lower}, {upper}]"
+        );
     }
 
     #[test]

@@ -172,25 +172,22 @@ mod proptests {
     /// Builds a random but well-formed plan: alternating dwells and
     /// travels over random places and durations.
     fn arb_plan() -> impl Strategy<Value = DayPlan> {
-        proptest::collection::vec(
-            ((-0.04f64..0.04), (-0.04f64..0.04), 300i64..7200),
-            2..12,
-        )
-        .prop_map(|stops| {
-            let mut plan = DayPlan::new();
-            let mut t = 6 * 3600;
-            let mut here = GeoPoint::new(46.2, 6.1).unwrap();
-            for (dlat, dlng, dur) in stops {
-                let next = GeoPoint::new(46.2 + dlat, 6.1 + dlng).unwrap();
-                let leg = 600;
-                plan.travel(here, next, t, t + leg);
-                t += leg;
-                plan.dwell(next, t, t + dur);
-                t += dur;
-                here = next;
-            }
-            plan
-        })
+        proptest::collection::vec(((-0.04f64..0.04), (-0.04f64..0.04), 300i64..7200), 2..12)
+            .prop_map(|stops| {
+                let mut plan = DayPlan::new();
+                let mut t = 6 * 3600;
+                let mut here = GeoPoint::new(46.2, 6.1).unwrap();
+                for (dlat, dlng, dur) in stops {
+                    let next = GeoPoint::new(46.2 + dlat, 6.1 + dlng).unwrap();
+                    let leg = 600;
+                    plan.travel(here, next, t, t + leg);
+                    t += leg;
+                    plan.dwell(next, t, t + dur);
+                    t += dur;
+                    here = next;
+                }
+                plan
+            })
     }
 
     proptest! {

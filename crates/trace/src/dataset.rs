@@ -244,8 +244,8 @@ impl TryFrom<Vec<Trace>> for Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mood_geo::GeoPoint;
     use crate::Record;
+    use mood_geo::GeoPoint;
 
     fn rec(lat: f64, lng: f64, t: i64) -> Record {
         Record::new(GeoPoint::new(lat, lng).unwrap(), Timestamp::from_unix(t))
@@ -302,8 +302,10 @@ mod tests {
         assert_eq!(test.user_count(), 2);
         assert_eq!(train.get(UserId::new(1)).unwrap().len(), 48);
         assert_eq!(test.get(UserId::new(1)).unwrap().len(), 48);
-        assert!(train.get(UserId::new(1)).unwrap().end_time()
-            < test.get(UserId::new(1)).unwrap().start_time());
+        assert!(
+            train.get(UserId::new(1)).unwrap().end_time()
+                < test.get(UserId::new(1)).unwrap().start_time()
+        );
     }
 
     #[test]
@@ -328,8 +330,7 @@ mod tests {
                 records.push(rec(46.0, 6.0, d * 86_400 + h * 3600));
             }
         }
-        let ds =
-            Dataset::from_traces([Trace::new(UserId::new(1), records).unwrap()]).unwrap();
+        let ds = Dataset::from_traces([Trace::new(UserId::new(1), records).unwrap()]).unwrap();
         let win = ds.most_active_window(3).unwrap();
         let t = win.get(UserId::new(1)).unwrap();
         assert_eq!(t.len(), 72);
@@ -376,7 +377,9 @@ mod tests {
 
     #[test]
     fn from_iterator_last_wins() {
-        let ds: Dataset = [trace(1, 3, 60, 0), trace(1, 5, 60, 0)].into_iter().collect();
+        let ds: Dataset = [trace(1, 3, 60, 0), trace(1, 5, 60, 0)]
+            .into_iter()
+            .collect();
         assert_eq!(ds.user_count(), 1);
         assert_eq!(ds.get(UserId::new(1)).unwrap().len(), 5);
     }

@@ -34,7 +34,10 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::EmptyTrace => write!(f, "operation requires a non-empty trace"),
             TraceError::UnsortedRecords { index } => {
-                write!(f, "records are not time-sorted (first violation at index {index})")
+                write!(
+                    f,
+                    "records are not time-sorted (first violation at index {index})"
+                )
             }
             TraceError::DuplicateUser(u) => write!(f, "duplicate user {u} in dataset"),
             TraceError::UnknownUser(u) => write!(f, "unknown user {u}"),

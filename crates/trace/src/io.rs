@@ -151,8 +151,7 @@ pub fn write_csv_file<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<()> 
 /// Returns [`TraceError::Io`] if serialization fails (it cannot for valid
 /// datasets).
 pub fn to_json(dataset: &Dataset) -> Result<String> {
-    serde_json::to_string_pretty(dataset)
-        .map_err(|e| TraceError::Io(std::io::Error::other(e)))
+    serde_json::to_string_pretty(dataset).map_err(|e| TraceError::Io(std::io::Error::other(e)))
 }
 
 /// Deserializes a dataset from JSON produced by [`to_json`].

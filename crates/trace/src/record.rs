@@ -224,7 +224,10 @@ mod tests {
         assert_eq!(h - h, TimeDelta::from_secs(0));
         assert_eq!(h * 24, TimeDelta::from_days(1));
         assert_eq!(TimeDelta::from_secs(-30).abs(), TimeDelta::from_secs(30));
-        assert_eq!(TimeDelta::from_hours(24).halved(), TimeDelta::from_hours(12));
+        assert_eq!(
+            TimeDelta::from_hours(24).halved(),
+            TimeDelta::from_hours(12)
+        );
     }
 
     #[test]

@@ -443,11 +443,7 @@ mod tests {
 
     #[test]
     fn interpolate_midpoint() {
-        let t = Trace::new(
-            UserId::new(1),
-            vec![rec(46.0, 6.0, 0), rec(46.2, 6.2, 100)],
-        )
-        .unwrap();
+        let t = Trace::new(UserId::new(1), vec![rec(46.0, 6.0, 0), rec(46.2, 6.2, 100)]).unwrap();
         let p = t.interpolate_at(Timestamp::from_unix(50));
         assert!((p.lat() - 46.1).abs() < 1e-9);
         assert!((p.lng() - 6.1).abs() < 1e-9);
@@ -518,8 +514,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_trace() -> impl Strategy<Value = Trace> {
-        proptest::collection::vec((0i64..1_000_000, -0.4f64..0.4, -0.4f64..0.4), 1..200)
-            .prop_map(|tuples| {
+        proptest::collection::vec((0i64..1_000_000, -0.4f64..0.4, -0.4f64..0.4), 1..200).prop_map(
+            |tuples| {
                 let records: Vec<Record> = tuples
                     .into_iter()
                     .map(|(t, dlat, dlng)| {
@@ -530,7 +526,8 @@ mod proptests {
                     })
                     .collect();
                 Trace::new(UserId::new(7), records).unwrap()
-            })
+            },
+        )
     }
 
     proptest! {

@@ -66,7 +66,11 @@ fn lppm_outputs_keep_user_and_time_monotonicity() {
         // city, not the individual trace
         let bb = train.bounding_box().unwrap().expanded(5_000.0).unwrap();
         for r in protected.records() {
-            assert!(bb.contains(&r.point()), "{} escaped the region", lppm.name());
+            assert!(
+                bb.contains(&r.point()),
+                "{} escaped the region",
+                lppm.name()
+            );
         }
     }
 }

@@ -10,7 +10,12 @@ use mood_trace::TimeDelta;
 fn dataset_generation_is_bit_for_bit_reproducible() {
     for spec in presets::all() {
         let spec = spec.scaled(0.05);
-        assert_eq!(spec.generate(), spec.generate(), "{} not deterministic", spec.name);
+        assert_eq!(
+            spec.generate(),
+            spec.generate(),
+            "{} not deterministic",
+            spec.name
+        );
     }
 }
 

@@ -101,7 +101,10 @@ fn fine_grained_users_get_pseudonymous_subtraces() {
 
     // users that went fine-grained contribute multiple pseudonyms
     for o in report.outcomes() {
-        if let mood_core::ProtectionOutcome::FineGrained { published: subs, .. } = &o.outcome {
+        if let mood_core::ProtectionOutcome::FineGrained {
+            published: subs, ..
+        } = &o.outcome
+        {
             if subs.len() > 1 {
                 let ids: Vec<_> = ground_truth
                     .iter()

@@ -1,0 +1,108 @@
+//! Cross-backend determinism of the execution layer: the contract the
+//! whole exec refactor rests on. Every backend × thread-count
+//! combination must produce **byte-for-byte** the same protection as
+//! the sequential reference — at both parallelism levels (users in the
+//! pipeline, candidates in the engine) — while changing the seed must
+//! change the outcome.
+
+use std::sync::Arc;
+
+use mood_core::{
+    protect_dataset, protect_dataset_with, protect_stream, EngineBuilder, Executor, ExecutorKind,
+    MoodEngine, ProtectionReport,
+};
+use mood_synth::presets;
+use mood_trace::{Dataset, TimeDelta};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn mini_world() -> (Dataset, Dataset) {
+    let ds = presets::privamov_like().scaled(0.15).generate();
+    ds.split_chronological(TimeDelta::from_days(15))
+}
+
+/// Byte-level fingerprint of a report: the serialized summary plus a
+/// debug rendering of every outcome (which includes the protected
+/// records themselves).
+fn fingerprint(report: &ProtectionReport) -> String {
+    let summary = serde_json::to_string(&report.summary()).expect("serializable summary");
+    format!("{summary}\n{:?}", report.outcomes())
+}
+
+#[test]
+fn protect_dataset_is_identical_for_every_backend_and_thread_count() {
+    let (bg, test) = mini_world();
+    let engine = MoodEngine::paper_default(&bg);
+    let reference =
+        protect_dataset_with(&engine, &test, ExecutorKind::Sequential.build(1).as_ref());
+    let reference_bytes = fingerprint(&reference);
+
+    for kind in ExecutorKind::all() {
+        for threads in THREAD_COUNTS {
+            let executor: Arc<dyn Executor> = kind.build(threads);
+            let report = protect_dataset_with(&engine, &test, executor.as_ref());
+            assert_eq!(report, reference, "{kind} x{threads} diverged");
+            assert_eq!(
+                fingerprint(&report),
+                reference_bytes,
+                "{kind} x{threads} fingerprint diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_level_parallelism_matches_the_sequential_reference() {
+    // Candidate-level executor inside the engine AND user-level
+    // executor in the pipeline, both parallel at once.
+    let (bg, test) = mini_world();
+    let reference = protect_dataset(&MoodEngine::paper_default(&bg), &test, 1);
+    for kind in [ExecutorKind::ScopedPool, ExecutorKind::WorkStealing] {
+        for threads in THREAD_COUNTS {
+            let engine = EngineBuilder::paper_default(&bg)
+                .executor(kind.build(threads))
+                .build()
+                .expect("paper defaults are valid");
+            let outer = ExecutorKind::WorkStealing.build(threads);
+            let report = protect_dataset_with(&engine, &test, outer.as_ref());
+            assert_eq!(
+                report, reference,
+                "two-level {kind} x{threads} diverged from sequential reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_and_batch_agree_under_parallelism() {
+    let (bg, test) = mini_world();
+    let engine = MoodEngine::paper_default(&bg);
+    let batch = protect_dataset(&engine, &test, 4);
+    for kind in ExecutorKind::all() {
+        let executor = kind.build(4);
+        let streamed = protect_stream(&engine, &test, executor.as_ref(), |_| {});
+        assert_eq!(streamed, batch, "{kind} stream diverged");
+    }
+}
+
+#[test]
+fn changing_the_seed_changes_the_protection() {
+    let (bg, test) = mini_world();
+    let base = EngineBuilder::paper_default(&bg)
+        .build()
+        .expect("paper defaults are valid");
+    let reseeded = EngineBuilder::paper_default(&bg)
+        .seed(base.config().seed ^ 0xD15E_A5ED)
+        .build()
+        .expect("paper defaults are valid");
+
+    let report_a = protect_dataset(&base, &test, 2);
+    let report_b = protect_dataset(&reseeded, &test, 2);
+    // Classes may coincide, but the published noise must differ
+    // somewhere: compare the actual protected records.
+    assert_ne!(
+        format!("{:?}", report_a.outcomes()),
+        format!("{:?}", report_b.outcomes()),
+        "different seeds produced identical protected datasets"
+    );
+}

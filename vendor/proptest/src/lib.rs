@@ -1,0 +1,303 @@
+//! Minimal, dependency-free stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: the [`Strategy`] trait with
+//! `prop_map`, range strategies over integers and floats, tuple
+//! strategies, [`collection::vec`], the `proptest!` macro (with an
+//! optional `#![proptest_config(...)]` header), and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! No shrinking: a failing case panics with the generated inputs'
+//! `Debug` rendering via the standard assertion message. Cases are
+//! generated deterministically from the test name, so failures
+//! reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases to run per property (proptest's default is 256; this
+/// shim trades cases for CI time).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases generated per property test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `len` and elements
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s with *up to* `len.end` entries (key
+    /// collisions collapse, as in upstream proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        len: Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, len }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        len: Range<usize>,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Deterministic per-test RNG: a function of the test name and case
+/// index only, so failures reproduce run after run.
+pub fn deterministic_rng(test_name: &str, case: u64) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The common imports of proptest-based test modules.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// block runs its body for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( #[test] fn $name:ident ( $($args:tt)* ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng =
+                        $crate::deterministic_rng(stringify!($name), __case as u64);
+                    $crate::__proptest_bind!(__rng, $($args)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident,) => {};
+    ($rng:ident, $pat:pat in $($rest:tt)+) => {
+        $crate::__proptest_strat!($rng, ($pat), [], $($rest)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_strat {
+    ($rng:ident, ($pat:pat), [$($acc:tt)*],) => {
+        let $pat = $crate::Strategy::generate(&($($acc)*), &mut $rng);
+    };
+    ($rng:ident, ($pat:pat), [$($acc:tt)*], , $($rest:tt)*) => {
+        let $pat = $crate::Strategy::generate(&($($acc)*), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, ($pat:pat), [$($acc:tt)*], $next:tt $($rest:tt)*) => {
+        $crate::__proptest_strat!($rng, ($pat), [$($acc)* $next], $($rest)*);
+    };
+}
+
+/// Asserts a property; on failure the test panics with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (i64, f64)> {
+        (0i64..100, 0.0f64..1.0).prop_map(|(a, b)| (a * 2, b))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0i64..10, f in 0.5f64..0.75) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!((0.5..0.75).contains(&f));
+        }
+
+        #[test]
+        fn mapped_values(p in arb_pair()) {
+            prop_assert_eq!(p.0 % 2, 0);
+        }
+
+        #[test]
+        fn vectors_respect_len(
+            v in collection::vec((0usize..5, 0.0f64..1.0), 1..20),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn config_header_accepted(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_test() {
+        use crate::Strategy;
+        let s = 0i64..1000;
+        let a = s.generate(&mut crate::deterministic_rng("t", 0));
+        let b = s.generate(&mut crate::deterministic_rng("t", 0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,443 @@
+//! Minimal, dependency-free stand-in for `serde` (+ derive).
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of serde it uses: `#[derive(Serialize, Deserialize)]` over
+//! named structs, newtype structs and enums (unit and struct variants),
+//! the container attributes `#[serde(try_from = "...", from = "...",
+//! into = "...")]`, and JSON-shaped serialization through the sibling
+//! `serde_json` shim.
+//!
+//! Instead of serde's visitor-based data model, everything funnels
+//! through one concrete [`Value`] tree — exactly expressive enough for
+//! JSON, which is the only format the workspace reads or writes.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the intermediate representation every
+/// [`Serialize`]/[`Deserialize`] implementation converts through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent).
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, when this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Error for an unexpected value kind.
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        Self::custom(format!("expected {expected}, got {}", got.kind()))
+    }
+
+    /// Error for a missing object field.
+    pub fn missing_field(field: &str) -> Self {
+        Self::custom(format!("missing field `{field}`"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the JSON-shaped value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types constructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Builds `Self` from the JSON-shaped value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value's shape does not match.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: i128 = match value {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return Err(Error::unexpected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: i128 = match value {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return Err(Error::unexpected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(Error::unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::unexpected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::unexpected("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$($idx),+].len();
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::unexpected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Converts a serialized key into a JSON object key string.
+fn key_to_string(key: &Value) -> Result<String, Error> {
+    match key {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::UInt(u) => Ok(u.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::custom(format!(
+            "map key must be a string-like value, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Recovers a key from its JSON object key string.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::Str(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(i) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(i)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(u) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::UInt(u)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot parse map key `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let entries = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.to_value())
+                    .expect("map keys must serialize to string-like values");
+                (key, v.to_value())
+            })
+            .collect();
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("object", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.to_value())
+                    .expect("map keys must serialize to string-like values");
+                (key, v.to_value())
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("object", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_value(&42i64.to_value()).unwrap(), 42);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(bool::from_value(&true.to_value()).unwrap());
+    }
+
+    #[test]
+    fn int_deserialize_rejects_floats() {
+        assert!(i64::from_value(&Value::Float(1.5)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<(u32, f64)> = vec![(1, 0.5), (2, 1.5)];
+        let back = Vec::<(u32, f64)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(v, back);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1usize);
+        let back = BTreeMap::<String, usize>::from_value(&m.to_value()).unwrap();
+        assert_eq!(m, back);
+
+        let o: Option<i64> = None;
+        assert_eq!(Option::<i64>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn integer_map_keys_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert(5u64, "x".to_string());
+        let v = m.to_value();
+        let back = BTreeMap::<u64, String>::from_value(&v).unwrap();
+        assert_eq!(m, back);
+    }
+}

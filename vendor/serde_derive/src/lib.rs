@@ -1,0 +1,466 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! shim.
+//!
+//! Supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields;
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! * enums with unit variants (serialized as the variant-name string)
+//!   and struct variants (externally tagged objects);
+//! * the container attributes `#[serde(try_from = "T")]`,
+//!   `#[serde(from = "T")]` and `#[serde(into = "T")]`.
+//!
+//! The input is parsed directly from the token stream (no `syn`
+//! available offline) and code is generated as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Parsed {
+    name: String,
+    shape: Shape,
+    try_from: Option<String>,
+    from: Option<String>,
+    into: Option<String>,
+}
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut try_from = None;
+    let mut from = None;
+    let mut into = None;
+
+    // Leading attributes (doc comments, #[serde(...)], #[derive(...)], ...)
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            panic!("malformed attribute");
+        };
+        parse_serde_attr(g.stream(), &mut try_from, &mut from, &mut into);
+        i += 2;
+    }
+
+    // Visibility.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("expected struct or enum, got {other}"),
+    };
+
+    Parsed {
+        name,
+        shape,
+        try_from,
+        from,
+        into,
+    }
+}
+
+/// Extracts try_from/from/into from a `serde(...)` attribute body, if
+/// this attribute is one.
+fn parse_serde_attr(
+    stream: TokenStream,
+    try_from: &mut Option<String>,
+    from: &mut Option<String>,
+    into: &mut Option<String>,
+) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let [TokenTree::Ident(id), TokenTree::Group(args)] = &tokens[..] else {
+        return;
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j + 2 < args.len() + 1 {
+        let Some(TokenTree::Ident(key)) = args.get(j) else {
+            break;
+        };
+        let key = key.to_string();
+        if !matches!(args.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("unsupported serde attribute shape near `{key}`");
+        }
+        let Some(TokenTree::Literal(lit)) = args.get(j + 2) else {
+            panic!("serde attribute `{key}` expects a string literal");
+        };
+        let lit = lit.to_string();
+        let ty = lit.trim_matches('"').to_string();
+        match key.as_str() {
+            "try_from" => *try_from = Some(ty),
+            "from" => *from = Some(ty),
+            "into" => *into = Some(ty),
+            other => panic!("unsupported serde attribute `{other}`"),
+        }
+        j += 3;
+        if matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+    }
+}
+
+/// Field names of a named-field body; types are skipped (inference
+/// recovers them in the generated code).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // attributes on the field
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let TokenTree::Ident(field) = &tokens[i] else {
+            panic!("expected field name, got {:?}", tokens[i]);
+        };
+        fields.push(field.to_string());
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field name"
+        );
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Arity of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && idx + 1 < tokens.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected variant name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive does not support tuple enum variants ({name})");
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = if let Some(into) = &p.into {
+        format!(
+            "let __repr: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__repr)"
+        )
+    } else {
+        match &p.shape {
+            Shape::Named(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                )
+            }
+            Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        match &v.fields {
+                            None => format!(
+                                "{name}::{vname} => \
+                                 ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                            ),
+                            Some(fields) => {
+                                let binders = fields.join(", ");
+                                let entries: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "(::std::string::String::from(\"{f}\"), \
+                                             ::serde::Serialize::to_value({f}))"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{vname} {{ {binders} }} => \
+                                     ::serde::Value::Object(::std::vec![(\
+                                     ::std::string::String::from(\"{vname}\"), \
+                                     ::serde::Value::Object(::std::vec![{}]))])",
+                                    entries.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join(",\n"))
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = if let Some(try_from) = &p.try_from {
+        format!(
+            "let __repr: {try_from} = ::serde::Deserialize::from_value(__value)?;\n\
+             ::core::convert::TryFrom::try_from(__repr)\n\
+                 .map_err(|e| ::serde::Error::custom(::std::format!(\"{{e}}\")))"
+        )
+    } else if let Some(from) = &p.from {
+        format!(
+            "let __repr: {from} = ::serde::Deserialize::from_value(__value)?;\n\
+             ::core::result::Result::Ok(::core::convert::From::from(__repr))"
+        )
+    } else {
+        match &p.shape {
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(__value.get(\"{f}\")\
+                             .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match __value {{\n\
+                         ::serde::Value::Object(_) => \
+                             ::core::result::Result::Ok({name} {{ {} }}),\n\
+                         __other => ::core::result::Result::Err(\
+                             ::serde::Error::unexpected(\"object\", __other)),\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Shape::Tuple(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+            ),
+            Shape::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match __value {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {n} => \
+                             ::core::result::Result::Ok({name}({})),\n\
+                         __other => ::core::result::Result::Err(\
+                             ::serde::Error::unexpected(\"array of {n}\", __other)),\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Shape::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| v.fields.is_none())
+                    .map(|v| {
+                        let vname = &v.name;
+                        format!("\"{vname}\" => ::core::result::Result::Ok({name}::{vname})")
+                    })
+                    .collect();
+                let struct_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let fields = v.fields.as_ref()?;
+                        let vname = &v.name;
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__body.get(\"{f}\")\
+                                     .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname} {{ {} }})",
+                            inits.join(", ")
+                        ))
+                    })
+                    .collect();
+                format!(
+                    "match __value {{\n\
+                         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                             {unit}\n\
+                             __other => ::core::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{__other}}`\"))),\n\
+                         }},\n\
+                         ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                             let (__tag, __body) = &__entries[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {strukt}\n\
+                                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown variant `{{__other}}`\"))),\n\
+                             }}\n\
+                         }}\n\
+                         __other => ::core::result::Result::Err(\
+                             ::serde::Error::unexpected(\"enum variant\", __other)),\n\
+                     }}",
+                    unit = if unit_arms.is_empty() {
+                        String::new()
+                    } else {
+                        unit_arms.join(",\n") + ","
+                    },
+                    strukt = if struct_arms.is_empty() {
+                        String::new()
+                    } else {
+                        struct_arms.join(",\n") + ","
+                    },
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

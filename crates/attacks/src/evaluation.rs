@@ -2,6 +2,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use mood_exec::{for_each_index_with, Executor, SequentialExecutor};
 use mood_trace::{Dataset, Trace, UserId};
 
 use crate::{Attack, TrainedAttack};
@@ -133,25 +134,87 @@ impl AttackSuite {
 
     /// Evaluates a whole (possibly obfuscated) dataset: each trace is
     /// attacked under its recorded user as ground truth.
+    ///
+    /// Runs inline on the calling thread; [`AttackSuite::evaluate_with`]
+    /// fans the traces out over an executor and produces the identical
+    /// result.
     pub fn evaluate(&self, dataset: &Dataset) -> DatasetEvaluation {
+        self.evaluate_with(dataset, &SequentialExecutor)
+    }
+
+    /// [`AttackSuite::evaluate`], with traces fanned out over
+    /// `executor` — the inner loop of every benchmark figure, made
+    /// index-parallel.
+    ///
+    /// Each worker slot keeps a private accumulator (per-attack hit
+    /// counts plus the submission indices of re-identified traces), so
+    /// the hot loop takes no locks and allocates nothing per trace;
+    /// accumulators are merged afterwards **by submission index**,
+    /// which makes the result — including the order of
+    /// [`DatasetEvaluation::non_protected_users`] — byte-identical to
+    /// the sequential reference for every backend and thread count.
+    pub fn evaluate_with(&self, dataset: &Dataset, executor: &dyn Executor) -> DatasetEvaluation {
+        /// One worker's private tallies: per-attack hit counts and
+        /// `(submission index, user, records)` of re-identified traces.
+        struct WorkerAcc {
+            per_attack: Vec<usize>,
+            hits: Vec<(usize, UserId, usize)>,
+        }
+
+        let traces: Vec<&Trace> = dataset.iter().collect();
+        let n = traces.len();
+        // Per-worker capacity covers a balanced share; a worker that
+        // ends up with more (stealing) grows amortized. The merged
+        // vectors below are the ones preallocated for the full count.
+        let worker_capacity = n.div_ceil(executor.max_threads().max(1));
+        let accs = for_each_index_with(
+            executor,
+            n,
+            || WorkerAcc {
+                per_attack: vec![0; self.attacks.len()],
+                hits: Vec::with_capacity(worker_capacity),
+            },
+            |acc, i| {
+                let trace = traces[i];
+                let mut hit = false;
+                for (k, a) in self.attacks.iter().enumerate() {
+                    if a.re_identifies(trace, trace.user()) {
+                        acc.per_attack[k] += 1;
+                        hit = true;
+                    }
+                }
+                if hit {
+                    acc.hits.push((i, trace.user(), trace.len()));
+                }
+            },
+        );
+
+        // Deterministic merge: counts are order-free sums; hits are
+        // re-ordered by submission index, i.e. dataset iteration order.
+        let mut per_attack_counts = vec![0usize; self.attacks.len()];
+        let mut hits: Vec<(usize, UserId, usize)> = Vec::with_capacity(n);
+        for acc in accs {
+            for (total, count) in per_attack_counts.iter_mut().zip(&acc.per_attack) {
+                *total += count;
+            }
+            hits.extend(acc.hits);
+        }
+        hits.sort_unstable_by_key(|&(i, _, _)| i);
+
+        let mut non_protected = Vec::with_capacity(hits.len());
+        let mut lost_records = 0usize;
+        for &(_, user, records) in &hits {
+            non_protected.push(user);
+            lost_records += records;
+        }
+        // Summed (not overwritten) per name, so attacks sharing a name
+        // pool their counts exactly like the sequential loop did.
         let mut per_attack: BTreeMap<String, usize> = BTreeMap::new();
         for a in &self.attacks {
             per_attack.insert(a.name().to_string(), 0);
         }
-        let mut non_protected = Vec::new();
-        let mut lost_records = 0usize;
-        for trace in dataset.iter() {
-            let mut hit = false;
-            for a in &self.attacks {
-                if a.re_identifies(trace, trace.user()) {
-                    *per_attack.get_mut(a.name()).expect("pre-seeded") += 1;
-                    hit = true;
-                }
-            }
-            if hit {
-                non_protected.push(trace.user());
-                lost_records += trace.len();
-            }
+        for (a, count) in self.attacks.iter().zip(per_attack_counts) {
+            *per_attack.get_mut(a.name()).expect("pre-seeded") += count;
         }
         DatasetEvaluation {
             users_total: dataset.user_count(),
@@ -287,6 +350,25 @@ mod tests {
     #[should_panic(expected = "at least one attack")]
     fn empty_suite_rejected() {
         AttackSuite::train(&[], &background());
+    }
+
+    #[test]
+    fn parallel_evaluation_is_byte_identical_to_sequential() {
+        use mood_exec::ExecutorKind;
+        use mood_synth::presets;
+        let ds = presets::privamov_like().scaled(0.2).generate();
+        let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
+        let suite = full_suite(&train);
+        let reference = suite.evaluate(&test);
+        for kind in ExecutorKind::all() {
+            for threads in [1usize, 2, 8] {
+                let executor = kind.build(threads);
+                let eval = suite.evaluate_with(&test, executor.as_ref());
+                assert_eq!(eval, reference, "{kind} x{threads} diverged");
+                // order of non-protected users is part of the contract
+                assert_eq!(eval.non_protected_users, reference.non_protected_users);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Compares freshly measured throughput results against the committed
+//! baseline and prints an informational delta report — never fails,
+//! because benchmark hardware varies (the CI runner is single-core).
+//!
+//! Usage (from the workspace root):
+//!
+//! * `bench_delta` — read `results/throughput.json` and
+//!   `results/eval_throughput.json`, print deltas against
+//!   `crates/bench/baseline/BENCH_throughput.json`;
+//! * `bench_delta --record` — overwrite the committed baseline with the
+//!   fresh results (run both `exp_throughput` and `exp_eval_throughput`
+//!   first).
+
+use mood_bench::perf::{
+    delta_report, read_json, write_json, BenchBaseline, BASELINE_PATH, EVAL_THROUGHPUT_PATH,
+    THROUGHPUT_PATH,
+};
+
+fn main() {
+    let record = std::env::args().any(|a| a == "--record");
+    let current = BenchBaseline {
+        throughput: read_json(THROUGHPUT_PATH),
+        eval_throughput: read_json(EVAL_THROUGHPUT_PATH),
+    };
+
+    if record {
+        if current.throughput.is_none() && current.eval_throughput.is_none() {
+            eprintln!(
+                "nothing to record: run exp_throughput / exp_eval_throughput first \
+                 (expected {THROUGHPUT_PATH} and {EVAL_THROUGHPUT_PATH})"
+            );
+            return;
+        }
+        // Merge with the existing baseline: a section with no fresh run
+        // keeps its previous recording instead of being wiped.
+        let previous: Option<BenchBaseline> = read_json(BASELINE_PATH);
+        let merged = BenchBaseline {
+            throughput: current
+                .throughput
+                .or_else(|| previous.as_ref().and_then(|p| p.throughput.clone())),
+            eval_throughput: current
+                .eval_throughput
+                .or_else(|| previous.and_then(|p| p.eval_throughput)),
+        };
+        write_json(BASELINE_PATH, &merged).expect("write baseline");
+        println!("recorded baseline -> {BASELINE_PATH}");
+        return;
+    }
+
+    match read_json::<BenchBaseline>(BASELINE_PATH) {
+        None => println!(
+            "no committed baseline at {BASELINE_PATH}; run `bench_delta --record` to create one"
+        ),
+        Some(baseline) => {
+            println!("=== throughput delta vs committed baseline (informational) ===");
+            for line in delta_report(&baseline, &current) {
+                println!("{line}");
+            }
+        }
+    }
+}

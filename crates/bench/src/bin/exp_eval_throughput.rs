@@ -1,0 +1,94 @@
+//! Attack-evaluation throughput: records/second of
+//! `AttackSuite::evaluate_with` per execution backend — the inner loop
+//! of every benchmark figure (`no-LPPM` bars, per-mechanism bars, the
+//! CLI's `mood attack`), measured in isolation.
+//!
+//! Every backend's result is asserted byte-identical to the sequential
+//! reference before timing counts, so this doubles as a determinism
+//! check for the per-worker accumulator merge.
+//!
+//! Usage: `cargo run --release -p mood-bench --bin exp_eval_throughput
+//!         [--scale X] [--threads N]`
+
+use std::time::Instant;
+
+use mood_bench::perf::{EvalThroughputReport, EvalThroughputRow, EVAL_THROUGHPUT_PATH};
+use mood_bench::{cli_options, ExperimentContext};
+use mood_core::ExecutorKind;
+use mood_synth::presets;
+
+fn main() {
+    let (scale, threads) = cli_options();
+    println!("=== AttackSuite::evaluate throughput (privamov-like, scale {scale}) ===");
+    let ctx = ExperimentContext::load(&presets::privamov_like(), scale);
+    let suite = &ctx.suite_all;
+    let traces = ctx.test.user_count();
+    let records = ctx.test.record_count();
+    println!("{traces} traces / {records} records, 3 attacks, up to {threads} threads\n");
+
+    let configs: Vec<(ExecutorKind, usize)> = vec![
+        (ExecutorKind::Sequential, 1),
+        (ExecutorKind::ScopedPool, threads),
+        (ExecutorKind::WorkStealing, threads),
+        (ExecutorKind::Persistent, threads),
+    ];
+
+    let mut rows: Vec<EvalThroughputRow> = Vec::new();
+    let mut sequential_wall = None;
+    let mut reference = None;
+    for (kind, t) in configs {
+        let executor = kind.build(t);
+        let warmup = suite.evaluate_with(&ctx.test, executor.as_ref());
+        // One evaluation pass is milliseconds at CI scale — far below
+        // timer noise. Repeat until a minimum elapsed window and report
+        // the per-iteration average so baseline deltas mean something.
+        const MIN_ELAPSED_S: f64 = 1.0;
+        const MIN_ITERS: u32 = 3;
+        let start = Instant::now();
+        let mut iters = 0u32;
+        let eval = loop {
+            let eval = suite.evaluate_with(&ctx.test, executor.as_ref());
+            iters += 1;
+            assert_eq!(warmup, eval, "non-deterministic evaluation on {kind}");
+            if start.elapsed().as_secs_f64() >= MIN_ELAPSED_S && iters >= MIN_ITERS {
+                break eval;
+            }
+        };
+        let wall = start.elapsed().as_secs_f64() / f64::from(iters);
+        match &reference {
+            None => reference = Some(eval),
+            Some(r) => assert_eq!(r, &eval, "{kind} diverged from sequential evaluation"),
+        }
+        if kind == ExecutorKind::Sequential {
+            sequential_wall = Some(wall);
+        }
+        let speedup = sequential_wall.map_or(1.0, |s| s / wall);
+        println!(
+            "{:<12} x{t:<2}  {wall:>8.3} s   {:>8.2} traces/s   {:>10.0} records/s   {speedup:>5.2}x",
+            kind.to_string(),
+            traces as f64 / wall,
+            records as f64 / wall,
+        );
+        rows.push(EvalThroughputRow {
+            executor: kind.to_string(),
+            threads: t,
+            traces,
+            records,
+            wall_s: wall,
+            traces_per_s: traces as f64 / wall,
+            records_per_s: records as f64 / wall,
+            speedup_vs_sequential: speedup,
+        });
+    }
+
+    let doc = EvalThroughputReport {
+        dataset: ctx.spec.name.clone(),
+        scale_note: format!("privamov-like scaled by {scale}"),
+        rows,
+    };
+    mood_bench::perf::write_json(EVAL_THROUGHPUT_PATH, &doc).expect("write eval results");
+    println!(
+        "\n{}",
+        serde_json::to_string_pretty(&doc).expect("serializable rows")
+    );
+}

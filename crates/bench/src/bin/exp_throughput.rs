@@ -3,39 +3,18 @@
 //!
 //! This is the perf trajectory the ROADMAP tracks PR over PR: the JSON
 //! emitted to `results/throughput.json` (and echoed to stdout) lets
-//! future changes prove their speedups against a recorded baseline.
+//! future changes prove their speedups against the committed baseline
+//! (`bench_delta` prints the comparison).
 //!
 //! Usage: `cargo run --release -p mood-bench --bin exp_throughput
 //!         [--scale X] [--threads N]`
 
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
-
+use mood_bench::perf::{ThroughputReport, ThroughputRow, THROUGHPUT_PATH};
 use mood_bench::{cli_options, Adversary, ExperimentContext};
 use mood_core::{protect_dataset_with, ExecutorKind};
 use mood_synth::presets;
-
-/// One measured configuration.
-#[derive(Debug, Serialize, Deserialize)]
-struct ThroughputRow {
-    executor: String,
-    threads: usize,
-    users: usize,
-    records: usize,
-    wall_s: f64,
-    users_per_s: f64,
-    records_per_s: f64,
-    speedup_vs_sequential: f64,
-}
-
-/// The emitted document.
-#[derive(Debug, Serialize, Deserialize)]
-struct ThroughputReport {
-    dataset: String,
-    scale_note: String,
-    rows: Vec<ThroughputRow>,
-}
 
 fn main() {
     let (scale, threads) = cli_options();
@@ -50,14 +29,19 @@ fn main() {
         (ExecutorKind::Sequential, 1),
         (ExecutorKind::ScopedPool, threads),
         (ExecutorKind::WorkStealing, threads),
+        (ExecutorKind::Persistent, threads),
     ];
 
     let mut rows: Vec<ThroughputRow> = Vec::new();
     let mut sequential_wall = None;
     let mut reference = None;
     for (kind, t) in configs {
+        // The persistent pool spawns its workers here, once; the scoped
+        // backends re-spawn inside every for_each_index call. That
+        // difference is exactly what this benchmark measures.
         let executor = kind.build(t);
-        // warm-up run (page cache, branch predictors, allocator)
+        // warm-up run (page cache, branch predictors, allocator, and
+        // the engine's scratch arenas)
         let warmup = protect_dataset_with(&engine, &ctx.test, executor.as_ref());
         let start = Instant::now();
         let report = protect_dataset_with(&engine, &ctx.test, executor.as_ref());
@@ -94,8 +78,9 @@ fn main() {
         scale_note: format!("privamov-like scaled by {scale}"),
         rows,
     };
-    let json = serde_json::to_string_pretty(&doc).expect("serializable rows");
-    std::fs::create_dir_all("results").ok();
-    std::fs::write("results/throughput.json", &json).ok();
-    println!("\n{json}");
+    mood_bench::perf::write_json(THROUGHPUT_PATH, &doc).expect("write throughput results");
+    println!(
+        "\n{}",
+        serde_json::to_string_pretty(&doc).expect("serializable rows")
+    );
 }

@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -25,7 +27,9 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use mood_attacks::{ApAttack, Attack, AttackSuite, PitAttack, PoiAttack};
-use mood_core::{protect_dataset, HybridLppm, MoodConfig, MoodEngine, ProtectionReport};
+use mood_core::{
+    protect_dataset, EngineBuilder, HybridLppm, MoodConfig, MoodEngine, ProtectionReport,
+};
 use mood_lppm::{GeoI, Hmc, Lppm, Trl};
 use mood_metrics::{spatio_temporal_distortion, DistortionBand};
 use mood_synth::DatasetSpec;
@@ -53,7 +57,7 @@ pub struct ExperimentContext {
     pub suite_all: Arc<AttackSuite>,
     /// Suite with AP-Attack only.
     pub suite_ap: Arc<AttackSuite>,
-    base_lppms: Vec<Arc<dyn Lppm>>,
+    base_lppms: Arc<[Arc<dyn Lppm>]>,
 }
 
 impl ExperimentContext {
@@ -79,11 +83,11 @@ impl ExperimentContext {
             &[&ApAttack::paper_default() as &dyn Attack],
             &train,
         ));
-        let base_lppms: Vec<Arc<dyn Lppm>> = vec![
-            Arc::new(GeoI::paper_default()),
+        let base_lppms: Arc<[Arc<dyn Lppm>]> = Arc::from([
+            Arc::new(GeoI::paper_default()) as Arc<dyn Lppm>,
             Arc::new(Trl::paper_default()),
             Arc::new(Hmc::paper_default(&train)),
-        ];
+        ]);
         Self {
             spec,
             train,
@@ -99,13 +103,19 @@ impl ExperimentContext {
         &self.base_lppms
     }
 
-    /// A MooD engine against the chosen adversary.
+    /// A MooD engine against the chosen adversary. The LPPM set is
+    /// shared by handle — building engines for every adversary ×
+    /// config combination never copies the mechanisms.
     pub fn engine(&self, adversary: Adversary) -> MoodEngine {
         let suite = match adversary {
             Adversary::ApOnly => self.suite_ap.clone(),
             Adversary::All => self.suite_all.clone(),
         };
-        MoodEngine::new(suite, self.base_lppms.clone(), MoodConfig::paper_default())
+        EngineBuilder::new(suite)
+            .lppms_shared(Arc::clone(&self.base_lppms))
+            .config(MoodConfig::paper_default())
+            .build()
+            .expect("paper defaults are valid")
     }
 
     /// The suite for the chosen adversary.

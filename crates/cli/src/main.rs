@@ -29,15 +29,19 @@ USAGE:
   mood split   --input <file.csv> --train <out.csv> --test <out.csv>
                [--train-days <n=15>]
   mood protect --input <test.csv> --background <train.csv> --out <file.csv>
-               [--report <file.json>] [--threads <n>] [--executor <sequential|pool|steal>]
+               [--report <file.json>] [--threads <n>]
+               [--executor <sequential|pool|steal|persistent>]
                [--delta-hours <n=4>] [--window-hours <n=24>] [--seed <n>] [--quiet <0|1>]
   mood attack  --input <file.csv> --background <train.csv>
+               [--threads <n>] [--executor <sequential|pool|steal|persistent>]
   mood eval    --original <file.csv> --protected <file.csv> [--cell-m <n=800>]
   mood help
 
 `mood protect` streams per-user progress to stderr as results complete;
---executor selects the execution backend for the user-level fan-out
-(default: steal, a work-stealing pool).
+--executor selects the execution backend for the user-level fan-out and
+`mood attack`'s per-trace fan-out (default: persistent, a long-lived
+pool of parked workers — threads are spawned once per run, not once per
+batch).
 ";
 
 fn main() -> ExitCode {
@@ -104,6 +108,24 @@ fn parse_or<T: std::str::FromStr>(
     }
 }
 
+/// Parses the shared `--threads` (default: available parallelism) and
+/// `--executor` (default: persistent) flags used by `protect` and
+/// `attack`.
+fn executor_opts(opts: &HashMap<String, String>) -> Result<(usize, ExecutorKind), String> {
+    let threads: usize = parse_or(
+        opts,
+        "threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    )?;
+    let kind: ExecutorKind = match opts.get("executor") {
+        None => ExecutorKind::Persistent,
+        Some(name) => name.parse()?,
+    };
+    Ok((threads.max(1), kind))
+}
+
 fn cmd_synth(opts: &HashMap<String, String>) -> Result<(), String> {
     let preset = required(opts, "preset")?;
     let out = required(opts, "out")?;
@@ -159,17 +181,7 @@ fn cmd_protect(opts: &HashMap<String, String>) -> Result<(), String> {
     let input = required(opts, "input")?;
     let background_path = required(opts, "background")?;
     let out = required(opts, "out")?;
-    let threads: usize = parse_or(
-        opts,
-        "threads",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4),
-    )?;
-    let executor_kind: ExecutorKind = match opts.get("executor") {
-        None => ExecutorKind::WorkStealing,
-        Some(name) => name.parse()?,
-    };
+    let (threads, executor_kind) = executor_opts(opts)?;
     let quiet: u8 = parse_or(opts, "quiet", 0)?;
     let delta_hours: i64 = parse_or(opts, "delta-hours", 4)?;
     let window_hours: i64 = parse_or(opts, "window-hours", 24)?;
@@ -251,6 +263,7 @@ fn cmd_protect(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
     let input = required(opts, "input")?;
     let background_path = required(opts, "background")?;
+    let (threads, executor_kind) = executor_opts(opts)?;
     let background = trace_io::read_csv_file(background_path).map_err(|e| e.to_string())?;
     let target = trace_io::read_csv_file(input).map_err(|e| e.to_string())?;
     if background.is_empty() || target.is_empty() {
@@ -264,7 +277,8 @@ fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
         ],
         &background,
     );
-    let eval = suite.evaluate(&target);
+    let executor = executor_kind.build(threads.max(1));
+    let eval = suite.evaluate_with(&target, executor.as_ref());
     println!(
         "re-identified {} of {} users ({:.1}%)",
         eval.non_protected_count(),
@@ -341,6 +355,7 @@ mod tests {
             ("sequential", ExecutorKind::Sequential),
             ("pool", ExecutorKind::ScopedPool),
             ("steal", ExecutorKind::WorkStealing),
+            ("persistent", ExecutorKind::Persistent),
         ] {
             assert_eq!(name.parse::<ExecutorKind>().unwrap(), expected);
         }

@@ -1,4 +1,5 @@
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -6,12 +7,90 @@ use rand::SeedableRng;
 use mood_attacks::{ApAttack, Attack, AttackSuite, PitAttack, PoiAttack};
 use mood_lppm::{enumerate_compositions, Composition, GeoI, Hmc, Lppm, Trl};
 use mood_metrics::spatio_temporal_distortion;
-use mood_trace::{Dataset, Trace};
+use mood_trace::{Dataset, Record, Trace};
 
 use crate::exec::{self, CandidateJob, Executor, SequentialExecutor};
 use crate::{
     FineGrainedStats, MoodConfig, ProtectedTrace, ProtectionOutcome, UserClass, UserProtection,
 };
+
+/// Reusable per-worker state for one candidate evaluation: the derived
+/// RNG (stack-only, reassigned per candidate) and the protected-records
+/// buffer the LPPM writes into.
+struct CandidateScratch {
+    rng: StdRng,
+    records: Vec<Record>,
+}
+
+impl CandidateScratch {
+    fn new() -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(0),
+            records: Vec::new(),
+        }
+    }
+}
+
+/// A recycling pool of [`CandidateScratch`] values, shared by every
+/// candidate batch the engine runs.
+///
+/// Worker-slot scratch from [`exec::map_indexed_with`] lives only for
+/// one batch; this pool is what carries the warmed-up buffers *across*
+/// batches (and across users, when many pipeline workers drive the same
+/// engine). Peak pool size is bounded by the peak number of concurrent
+/// workers touching the engine. The reuse counter is the observable
+/// half of the zero-allocation claim: it counts candidate evaluations
+/// that started from an already-warm buffer instead of a fresh
+/// allocation.
+struct ScratchPool {
+    free: Mutex<Vec<CandidateScratch>>,
+    reuses: AtomicU64,
+}
+
+impl ScratchPool {
+    fn new() -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a scratch (recycled if available) wrapped in a lease that
+    /// returns it to the pool on drop.
+    fn take(&self) -> ScratchLease<'_> {
+        let scratch = self.free.lock().expect("scratch pool lock").pop();
+        ScratchLease {
+            pool: self,
+            scratch: Some(scratch.unwrap_or_else(CandidateScratch::new)),
+        }
+    }
+}
+
+/// RAII handle recycling a [`CandidateScratch`] back into its pool.
+/// The scratch is `Some` until drop (the `Option` only exists so drop
+/// can move it out without constructing a replacement).
+struct ScratchLease<'p> {
+    pool: &'p ScratchPool,
+    scratch: Option<CandidateScratch>,
+}
+
+impl ScratchLease<'_> {
+    fn scratch_mut(&mut self) -> &mut CandidateScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool
+                .free
+                .lock()
+                .expect("scratch pool lock")
+                .push(scratch);
+        }
+    }
+}
 
 /// Why an [`EngineBuilder`] could not produce an engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,9 +137,39 @@ impl std::error::Error for EngineError {}
 /// ```
 pub struct EngineBuilder {
     suite: Arc<AttackSuite>,
-    lppms: Vec<Arc<dyn Lppm>>,
+    lppms: LppmSet,
     config: MoodConfig,
     executor: Arc<dyn Executor>,
+}
+
+/// The builder's LPPM set: either composed piecewise (`Owned`) or taken
+/// wholesale from another engine without copying (`Shared`).
+enum LppmSet {
+    Owned(Vec<Arc<dyn Lppm>>),
+    Shared(Arc<[Arc<dyn Lppm>]>),
+}
+
+impl LppmSet {
+    fn is_empty(&self) -> bool {
+        match self {
+            LppmSet::Owned(v) => v.is_empty(),
+            LppmSet::Shared(s) => s.is_empty(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            LppmSet::Owned(v) => v.len(),
+            LppmSet::Shared(s) => s.len(),
+        }
+    }
+
+    fn into_shared(self) -> Arc<[Arc<dyn Lppm>]> {
+        match self {
+            LppmSet::Owned(v) => v.into(),
+            LppmSet::Shared(s) => s,
+        }
+    }
 }
 
 impl EngineBuilder {
@@ -69,7 +178,7 @@ impl EngineBuilder {
     pub fn new(suite: Arc<AttackSuite>) -> Self {
         Self {
             suite,
-            lppms: Vec::new(),
+            lppms: LppmSet::Owned(Vec::new()),
             config: MoodConfig::paper_default(),
             executor: Arc::new(SequentialExecutor),
         }
@@ -100,13 +209,28 @@ impl EngineBuilder {
 
     /// Replaces the base LPPM set.
     pub fn lppms(mut self, lppms: Vec<Arc<dyn Lppm>>) -> Self {
-        self.lppms = lppms;
+        self.lppms = LppmSet::Owned(lppms);
         self
     }
 
-    /// Appends one LPPM to the base set.
+    /// Replaces the base LPPM set with an already-shared one — e.g.
+    /// [`MoodEngine::shared_lppms`] from a sibling engine. The set is
+    /// shared by handle; no per-mechanism clones are made, so building
+    /// config/ablation variants of an engine costs one `Arc` bump.
+    pub fn lppms_shared(mut self, lppms: Arc<[Arc<dyn Lppm>]>) -> Self {
+        self.lppms = LppmSet::Shared(lppms);
+        self
+    }
+
+    /// Appends one LPPM to the base set. Appending to a shared set
+    /// copies the handles first (copy-on-write).
     pub fn lppm(mut self, lppm: Arc<dyn Lppm>) -> Self {
-        self.lppms.push(lppm);
+        let mut owned = match self.lppms {
+            LppmSet::Owned(v) => v,
+            LppmSet::Shared(s) => s.to_vec(),
+        };
+        owned.push(lppm);
+        self.lppms = LppmSet::Owned(owned);
         self
     }
 
@@ -147,17 +271,19 @@ impl EngineBuilder {
         }
         self.config.check().map_err(EngineError::InvalidConfig)?;
         let max_len = self.config.max_composition_len.min(self.lppms.len());
+        let base = self.lppms.into_shared();
         let compositions = if max_len >= 2 {
-            enumerate_compositions(&self.lppms, 2, max_len)
+            enumerate_compositions(&base, 2, max_len)
         } else {
             Vec::new()
         };
         Ok(MoodEngine {
             suite: self.suite,
-            base: self.lppms,
+            base,
             compositions,
             config: self.config,
             executor: self.executor,
+            scratch: ScratchPool::new(),
         })
     }
 }
@@ -185,10 +311,11 @@ impl EngineBuilder {
 /// ```
 pub struct MoodEngine {
     suite: Arc<AttackSuite>,
-    base: Vec<Arc<dyn Lppm>>,
+    base: Arc<[Arc<dyn Lppm>]>,
     compositions: Vec<Composition>,
     config: MoodConfig,
     executor: Arc<dyn Executor>,
+    scratch: ScratchPool,
 }
 
 impl std::fmt::Debug for MoodEngine {
@@ -256,6 +383,24 @@ impl MoodEngine {
         &self.base
     }
 
+    /// A shareable handle to the base LPPM set, for building sibling
+    /// engines (ablations, different configs or executors over the same
+    /// mechanisms) without copying the set — pass it to
+    /// [`EngineBuilder::lppms_shared`].
+    pub fn shared_lppms(&self) -> Arc<[Arc<dyn Lppm>]> {
+        Arc::clone(&self.base)
+    }
+
+    /// How many candidate evaluations started from a recycled, already
+    /// warmed-up scratch buffer instead of a fresh allocation — the
+    /// observable evidence that the candidate hot path stops allocating
+    /// once the per-worker arenas have warmed up. (A buffer goes cold
+    /// only when a resilient candidate keeps it for publication — the
+    /// rare, once-per-search-stage case.)
+    pub fn scratch_reuses(&self) -> u64 {
+        self.scratch.reuses.load(Ordering::Relaxed)
+    }
+
     /// The enumerated composition space `C − L` (length ≥ 2 chains).
     pub fn compositions(&self) -> &[Composition] {
         &self.compositions
@@ -287,13 +432,32 @@ impl MoodEngine {
         StdRng::seed_from_u64(h)
     }
 
-    /// Evaluates one candidate job: applies the variant under its
-    /// derived RNG stream and judges it against the attack suite.
-    /// Returns `None` for non-resilient candidates.
-    fn evaluate_candidate(&self, trace: &Trace, job: CandidateJob<'_>) -> Option<ProtectedTrace> {
-        let mut rng = self.variant_rng(trace, job.variant_idx);
-        let candidate = job.lppm.protect(trace, &mut rng);
+    /// Evaluates one candidate job on a scratch arena: applies the
+    /// variant under its derived RNG stream — writing the protected
+    /// records into the scratch buffer instead of a fresh allocation —
+    /// and judges it against the attack suite. Rejected candidates hand
+    /// their buffer back to the scratch for the next candidate; only a
+    /// resilient candidate (the rare case) keeps its buffer, inside the
+    /// returned [`ProtectedTrace`].
+    fn evaluate_candidate(
+        &self,
+        trace: &Trace,
+        job: CandidateJob<'_>,
+        scratch: &mut CandidateScratch,
+    ) -> Option<ProtectedTrace> {
+        scratch.rng = self.variant_rng(trace, job.variant_idx);
+        let mut buf = std::mem::take(&mut scratch.records);
+        if buf.capacity() > 0 {
+            self.scratch.reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        job.lppm.protect_into(trace, &mut scratch.rng, &mut buf);
+        // `protect_into` yields time-sorted records (the `Trace`
+        // invariant of `protect`'s output), so this re-sort is a
+        // stable identity pass: the candidate is byte-identical to
+        // what `protect` would have returned.
+        let candidate = Trace::new(trace.user(), buf).expect("LPPMs never produce an empty trace");
         if !self.suite.protects(&candidate, trace.user()) {
+            scratch.records = candidate.into_records();
             return None;
         }
         let distortion = spatio_temporal_distortion(trace, &candidate);
@@ -308,14 +472,22 @@ impl MoodEngine {
     /// the verdicts in job order — independent of backend and thread
     /// count, since each job's randomness is a pure function of its
     /// variant index.
+    ///
+    /// Each worker slot evaluates its candidates on a scratch arena
+    /// leased from the engine's recycling pool, so the hot path reuses
+    /// protected-trace buffers and RNG state across candidates, batches
+    /// and users instead of allocating per candidate.
     pub fn evaluate_candidates(
         &self,
         trace: &Trace,
         jobs: &[CandidateJob<'_>],
     ) -> Vec<Option<ProtectedTrace>> {
-        exec::map_indexed(self.executor.as_ref(), jobs.len(), |i| {
-            self.evaluate_candidate(trace, jobs[i])
-        })
+        exec::map_indexed_with(
+            self.executor.as_ref(),
+            jobs.len(),
+            || self.scratch.take(),
+            |lease, i| self.evaluate_candidate(trace, jobs[i], lease.scratch_mut()),
+        )
     }
 
     /// Tries every variant in `variants`, keeping the resilient one
@@ -607,14 +779,14 @@ mod tests {
         let full = MoodEngine::paper_default(&bg);
         let mut config = MoodConfig::paper_default();
         config.max_composition_len = 1;
-        let engine = MoodEngine::new(
-            Arc::new(AttackSuite::train(
-                &[&ApAttack::paper_default() as &dyn Attack],
-                &bg,
-            )),
-            full.lppms().to_vec(),
-            config,
-        );
+        let engine = EngineBuilder::new(Arc::new(AttackSuite::train(
+            &[&ApAttack::paper_default() as &dyn Attack],
+            &bg,
+        )))
+        .lppms_shared(full.shared_lppms())
+        .config(config)
+        .build()
+        .unwrap();
         assert!(engine.compositions().is_empty());
     }
 
@@ -637,14 +809,14 @@ mod tests {
         let base = MoodEngine::paper_default(&bg);
         let mut config = MoodConfig::paper_default();
         config.initial_window = None;
-        let engine = MoodEngine::new(
-            Arc::new(AttackSuite::train(
-                &[&ApAttack::paper_default() as &dyn Attack],
-                &bg,
-            )),
-            base.lppms().to_vec(),
-            config,
-        );
+        let engine = EngineBuilder::new(Arc::new(AttackSuite::train(
+            &[&ApAttack::paper_default() as &dyn Attack],
+            &bg,
+        )))
+        .lppms_shared(base.shared_lppms())
+        .config(config)
+        .build()
+        .unwrap();
         for trace in test.iter().take(3) {
             let r = engine.protect_user(trace);
             if let crate::ProtectionOutcome::FineGrained { stats, .. } = &r.outcome {
@@ -664,7 +836,11 @@ mod tests {
         ] {
             let mut config = MoodConfig::paper_default();
             config.split_strategy = strategy;
-            let engine = MoodEngine::new(base.shared_suite(), base.lppms().to_vec(), config);
+            let engine = EngineBuilder::new(base.shared_suite())
+                .lppms_shared(base.shared_lppms())
+                .config(config)
+                .build()
+                .unwrap();
             for trace in test.iter().take(4) {
                 let r = engine.protect_user(trace);
                 if let crate::ProtectionOutcome::FineGrained { stats, .. } = &r.outcome {
@@ -684,11 +860,13 @@ mod tests {
         // extension hook) grows |C| to Σ 4!/(4-i)! = 64
         let (bg, test) = mini_world();
         let base = MoodEngine::paper_default(&bg);
-        let mut lppms = base.lppms().to_vec();
-        lppms.push(Arc::new(mood_lppm::SpatialCloaking::from_background(
-            &bg, 800.0,
-        )));
-        let engine = MoodEngine::new(base.shared_suite(), lppms, MoodConfig::paper_default());
+        let engine = EngineBuilder::new(base.shared_suite())
+            .lppms_shared(base.shared_lppms())
+            .lppm(Arc::new(mood_lppm::SpatialCloaking::from_background(
+                &bg, 800.0,
+            )))
+            .build()
+            .unwrap();
         assert_eq!(engine.lppms().len(), 4);
         assert_eq!(engine.lppms().len() + engine.compositions().len(), 64);
         // and the bigger search space still produces resilient output
@@ -786,6 +964,47 @@ mod tests {
             let resilient = engine.suite().protects(&cand, trace.user());
             assert_eq!(v.is_some(), resilient, "variant {i}");
         }
+    }
+
+    #[test]
+    fn scratch_arena_is_reused_after_warmup() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        let trace = test.iter().next().unwrap();
+        // First batch warms the arena (one fresh allocation per worker
+        // slot); every later batch on the same worker starts from a
+        // recycled buffer.
+        let _ = engine.protect_user(trace);
+        let after_warmup = engine.scratch_reuses();
+        assert!(
+            after_warmup > 0,
+            "a whole-user search runs several candidate batches; all but \
+             the first per worker must reuse the arena"
+        );
+        let _ = engine.protect_user(trace);
+        assert!(
+            engine.scratch_reuses() > after_warmup,
+            "later users must keep reusing the warmed-up arenas"
+        );
+        // Reuse must not change results (byte-identical determinism).
+        assert_eq!(engine.protect_user(trace), engine.protect_user(trace));
+    }
+
+    #[test]
+    fn shared_lppm_sets_are_not_copied() {
+        let (bg, _) = mini_world();
+        let base = MoodEngine::paper_default(&bg);
+        let sibling = EngineBuilder::new(base.shared_suite())
+            .lppms_shared(base.shared_lppms())
+            .seed(1234)
+            .build()
+            .unwrap();
+        // Same allocation, not a clone: the slices share an address.
+        assert!(std::ptr::eq(
+            base.lppms().as_ptr(),
+            sibling.lppms().as_ptr()
+        ));
+        assert_eq!(sibling.compositions().len(), base.compositions().len());
     }
 
     #[test]

@@ -7,8 +7,9 @@ use crate::exec::{map_indexed, Executor, ExecutorKind};
 use crate::{MoodEngine, ProtectionReport, UserProtection};
 
 /// Protects every user of `dataset` with `engine`, fanning users out to
-/// `threads` workers of a work-stealing executor (1 = sequential), and
-/// assembles the [`ProtectionReport`].
+/// `threads` workers of a persistent pool executor (spawned once for
+/// the call, amortized across both the user fan-out and every candidate
+/// batch inside it), and assembles the [`ProtectionReport`].
 ///
 /// This is the convenience entry point; [`protect_dataset_with`] takes
 /// an explicit [`Executor`] and [`protect_stream`] yields per-user
@@ -35,7 +36,7 @@ use crate::{MoodEngine, ProtectionReport, UserProtection};
 /// ```
 pub fn protect_dataset(engine: &MoodEngine, dataset: &Dataset, threads: usize) -> ProtectionReport {
     assert!(threads > 0, "need at least one worker thread");
-    let executor = ExecutorKind::WorkStealing.build(threads);
+    let executor = ExecutorKind::Persistent.build(threads);
     protect_dataset_with(engine, dataset, executor.as_ref())
 }
 

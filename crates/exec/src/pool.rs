@@ -2,11 +2,13 @@ use super::Executor;
 
 /// Scoped threads with static index chunking.
 ///
-/// Indices `0..n` are split into one contiguous chunk per worker.
-/// There is no load balancing: with uniform tasks this has the lowest
-/// synchronization cost of the parallel backends, but a skewed chunk
-/// leaves its worker busy while the others idle (that's what
-/// [`super::WorkStealingExecutor`] fixes).
+/// Indices `0..n` are split into one contiguous chunk per worker; the
+/// worker's position doubles as its slot id. There is no load
+/// balancing: with uniform tasks this has the lowest synchronization
+/// cost of the scoped backends, but a skewed chunk leaves its worker
+/// busy while the others idle (that's what
+/// [`super::WorkStealingExecutor`] fixes). Threads are spawned per
+/// call; [`super::PersistentPoolExecutor`] amortizes that cost.
 #[derive(Debug, Clone, Copy)]
 pub struct ScopedPoolExecutor {
     threads: usize,
@@ -30,11 +32,11 @@ impl Executor for ScopedPoolExecutor {
         self.threads
     }
 
-    fn for_each_index(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+    fn for_each_index_slot(&self, n: usize, task: &(dyn Fn(usize, usize) + Sync)) {
         let workers = self.threads.min(n);
         if workers <= 1 {
             for i in 0..n {
-                task(i);
+                task(i, 0);
             }
             return;
         }
@@ -50,7 +52,7 @@ impl Executor for ScopedPoolExecutor {
                 start += len;
                 scope.spawn(move || {
                     for i in range {
-                        task(i);
+                        task(i, w);
                     }
                 });
             }

@@ -18,7 +18,9 @@ use super::Executor;
 /// MooD's per-user cost is heavily skewed — an orphan user triggers a
 /// recursive fine-grained search worth hundreds of candidate
 /// evaluations, a naturally protected user just one suite check — so
-/// stealing is what keeps all cores busy on real datasets.
+/// stealing is what keeps all cores busy on real datasets. Threads are
+/// spawned per call; [`super::PersistentPoolExecutor`] amortizes that
+/// cost across calls.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkStealingExecutor {
     threads: usize,
@@ -42,11 +44,11 @@ impl Executor for WorkStealingExecutor {
         self.threads
     }
 
-    fn for_each_index(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+    fn for_each_index_slot(&self, n: usize, task: &(dyn Fn(usize, usize) + Sync)) {
         let workers = self.threads.min(n);
         if workers <= 1 {
             for i in 0..n {
-                task(i);
+                task(i, 0);
             }
             return;
         }
@@ -76,7 +78,7 @@ impl Executor for WorkStealingExecutor {
                     // Fast path: own deque.
                     let own = deques[w].lock().expect("deque lock").pop_front();
                     if let Some(i) = own {
-                        task(i);
+                        task(i, w);
                         continue;
                     }
                     // Steal: take the back half of the fullest peer.
@@ -111,7 +113,7 @@ impl Executor for WorkStealingExecutor {
                     };
                     in_transit.fetch_sub(1, Ordering::SeqCst);
                     match first {
-                        Some(i) => task(i),
+                        Some(i) => task(i, w),
                         None => {
                             // Every deque was empty at scan time. If a
                             // peer holds a chunk mid-steal, wait for it

@@ -1,7 +1,7 @@
 use rand::RngCore;
 
 use mood_geo::Grid;
-use mood_trace::{Dataset, Trace};
+use mood_trace::{Dataset, Record, Trace};
 
 use crate::Lppm;
 
@@ -75,13 +75,21 @@ impl Lppm for SpatialCloaking {
         "Cloaking"
     }
 
-    fn protect(&self, trace: &Trace, _rng: &mut dyn RngCore) -> Trace {
-        let records = trace
-            .records()
-            .iter()
-            .map(|r| r.with_point(self.grid.cell_center(self.grid.cell_of(&r.point()))))
-            .collect();
+    fn protect(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace {
+        let mut records = Vec::new();
+        self.protect_into(trace, rng, &mut records);
         Trace::new(trace.user(), records).expect("same cardinality as input")
+    }
+
+    fn protect_into(&self, trace: &Trace, _rng: &mut dyn RngCore, out: &mut Vec<Record>) {
+        out.clear();
+        out.reserve(trace.len());
+        out.extend(
+            trace
+                .records()
+                .iter()
+                .map(|r| r.with_point(self.grid.cell_center(self.grid.cell_of(&r.point())))),
+        );
     }
 }
 

@@ -2,7 +2,7 @@ use std::sync::Arc;
 
 use rand::RngCore;
 
-use mood_trace::Trace;
+use mood_trace::{Record, Trace};
 
 use crate::Lppm;
 
@@ -83,6 +83,21 @@ impl Lppm for Composition {
             current = part.protect(&current, rng);
         }
         current
+    }
+
+    fn protect_into(&self, trace: &Trace, rng: &mut dyn RngCore, out: &mut Vec<Record>) {
+        // Intermediate stages still build owned traces (each part needs
+        // a `&Trace` input), but the final — typically largest — stage
+        // writes into the caller's reusable buffer.
+        let (last, init) = self
+            .parts
+            .split_last()
+            .expect("compositions are never empty");
+        let mut current: Option<Trace> = None;
+        for part in init {
+            current = Some(part.protect(current.as_ref().unwrap_or(trace), rng));
+        }
+        last.protect_into(current.as_ref().unwrap_or(trace), rng, out);
     }
 }
 

@@ -1,7 +1,7 @@
 use rand::{Rng, RngCore};
 
 use mood_geo::LocalProjection;
-use mood_trace::Trace;
+use mood_trace::{Record, Trace};
 
 use crate::Lppm;
 
@@ -76,20 +76,23 @@ impl Lppm for GeoI {
     }
 
     fn protect(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace {
-        let records = trace
-            .records()
-            .iter()
-            .map(|r| {
-                let theta: f64 = rng.gen_range(0.0..360.0);
-                let radius = self.sample_radius(rng);
-                let proj = LocalProjection::new(r.point());
-                let moved = proj
-                    .displace(&r.point(), theta, radius)
-                    .expect("sampled radius is non-negative");
-                r.with_point(moved)
-            })
-            .collect();
+        let mut records = Vec::new();
+        self.protect_into(trace, rng, &mut records);
         Trace::new(trace.user(), records).expect("same cardinality as input")
+    }
+
+    fn protect_into(&self, trace: &Trace, rng: &mut dyn RngCore, out: &mut Vec<Record>) {
+        out.clear();
+        out.reserve(trace.len());
+        for r in trace.records() {
+            let theta: f64 = rng.gen_range(0.0..360.0);
+            let radius = self.sample_radius(rng);
+            let proj = LocalProjection::new(r.point());
+            let moved = proj
+                .displace(&r.point(), theta, radius)
+                .expect("sampled radius is non-negative");
+            out.push(r.with_point(moved));
+        }
     }
 }
 

@@ -51,7 +51,7 @@ use std::sync::Arc;
 
 use rand::RngCore;
 
-use mood_trace::Trace;
+use mood_trace::{Record, Trace};
 
 /// A Location Privacy Protection Mechanism.
 ///
@@ -66,6 +66,23 @@ pub trait Lppm: Send + Sync {
 
     /// Produces the obfuscated version of `trace`.
     fn protect(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace;
+
+    /// Writes the obfuscated records of `trace` into `out`, replacing
+    /// its previous contents — the buffer-reusing twin of
+    /// [`Lppm::protect`] for hot loops (MooD evaluates thousands of
+    /// candidates per orphan user; per-record mechanisms like Geo-I
+    /// override this to fill the caller's buffer in place and allocate
+    /// nothing once the buffer has warmed up).
+    ///
+    /// The contract is exact equivalence: the same RNG draws in the
+    /// same order, and `out` holding precisely the records `protect`
+    /// would have returned (time-sorted, per the [`Trace`] invariant).
+    /// The default implementation delegates to `protect` and moves the
+    /// resulting buffer out, so implementations only override it when
+    /// they can genuinely reuse `out`'s capacity.
+    fn protect_into(&self, trace: &Trace, rng: &mut dyn RngCore, out: &mut Vec<Record>) {
+        *out = self.protect(trace, rng).into_records();
+    }
 }
 
 impl<T: Lppm + ?Sized> Lppm for Arc<T> {
@@ -75,5 +92,9 @@ impl<T: Lppm + ?Sized> Lppm for Arc<T> {
 
     fn protect(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace {
         (**self).protect(trace, rng)
+    }
+
+    fn protect_into(&self, trace: &Trace, rng: &mut dyn RngCore, out: &mut Vec<Record>) {
+        (**self).protect_into(trace, rng, out)
     }
 }

@@ -84,13 +84,19 @@ impl Lppm for Trl {
     }
 
     fn protect(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace {
-        let mut records = Vec::with_capacity(trace.len() * 3);
+        let mut records = Vec::new();
+        self.protect_into(trace, rng, &mut records);
+        Trace::new(trace.user(), records).expect("3x records, still non-empty")
+    }
+
+    fn protect_into(&self, trace: &Trace, rng: &mut dyn RngCore, out: &mut Vec<Record>) {
+        out.clear();
+        out.reserve(trace.len() * 3);
         for r in trace.records() {
             for loc in self.assisted_locations(&r.point(), rng) {
-                records.push(Record::new(loc, r.time()));
+                out.push(Record::new(loc, r.time()));
             }
         }
-        Trace::new(trace.user(), records).expect("3x records, still non-empty")
     }
 }
 

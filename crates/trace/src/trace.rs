@@ -89,6 +89,15 @@ impl Trace {
         &self.records
     }
 
+    /// Consumes the trace and returns its record buffer (still
+    /// time-sorted). This is the recycling half of buffer-reusing hot
+    /// loops: build a candidate with [`Trace::new`] from a scratch
+    /// buffer, and when the candidate is rejected take the allocation
+    /// back instead of dropping it.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+
     /// Number of records (always ≥ 1).
     pub fn len(&self) -> usize {
         self.records.len()

@@ -57,7 +57,11 @@ fn two_level_parallelism_matches_the_sequential_reference() {
     // executor in the pipeline, both parallel at once.
     let (bg, test) = mini_world();
     let reference = protect_dataset(&MoodEngine::paper_default(&bg), &test, 1);
-    for kind in [ExecutorKind::ScopedPool, ExecutorKind::WorkStealing] {
+    for kind in [
+        ExecutorKind::ScopedPool,
+        ExecutorKind::WorkStealing,
+        ExecutorKind::Persistent,
+    ] {
         for threads in THREAD_COUNTS {
             let engine = EngineBuilder::paper_default(&bg)
                 .executor(kind.build(threads))
@@ -71,6 +75,76 @@ fn two_level_parallelism_matches_the_sequential_reference() {
             );
         }
     }
+}
+
+#[test]
+fn persistent_candidate_executor_shared_across_user_workers() {
+    // The deployment-shaped regime: ONE persistent pool serving the
+    // engine's candidate batches while a parallel user-level executor
+    // submits to it from many threads at once (concurrent batches in
+    // one pool). Results must stay byte-identical to sequential.
+    let (bg, test) = mini_world();
+    let reference = protect_dataset(&MoodEngine::paper_default(&bg), &test, 1);
+    for threads in THREAD_COUNTS {
+        let engine = EngineBuilder::paper_default(&bg)
+            .executor(ExecutorKind::Persistent.build(threads))
+            .build()
+            .expect("paper defaults are valid");
+        let outer = ExecutorKind::Persistent.build(threads);
+        let report = protect_dataset_with(&engine, &test, outer.as_ref());
+        assert_eq!(
+            report, reference,
+            "shared persistent pool x{threads} diverged from sequential reference"
+        );
+    }
+}
+
+#[test]
+fn persistent_pool_is_reusable_after_an_empty_call_and_joins_on_drop() {
+    use mood_core::PersistentPoolExecutor;
+
+    let pool = PersistentPoolExecutor::new(4);
+    assert_eq!(pool.worker_count(), 4);
+    // An empty batch must be a no-op, not a wedge.
+    pool.for_each_index(0, &|_| unreachable!("no indices to run"));
+
+    // ...and the pool must still do real work afterwards.
+    let (bg, test) = mini_world();
+    let engine = MoodEngine::paper_default(&bg);
+    let report = protect_dataset_with(&engine, &test, &pool);
+    pool.for_each_index(0, &|_| unreachable!("no indices to run"));
+    let again = protect_dataset_with(&engine, &test, &pool);
+    assert_eq!(report, again, "reused pool diverged");
+
+    // Drop joins every worker — if it leaked or deadlocked, this test
+    // would hang rather than pass.
+    drop(pool);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn persistent_pool_does_not_leak_threads() {
+    use mood_core::PersistentPoolExecutor;
+
+    fn thread_count() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .map(|dir| dir.count())
+            .unwrap_or(0)
+    }
+
+    // Let unrelated test threads settle, then cycle pools: the thread
+    // count after N create/use/drop cycles must not trend upward.
+    let before = thread_count();
+    for _ in 0..16 {
+        let pool = PersistentPoolExecutor::new(4);
+        pool.for_each_index(64, &|_| {});
+        drop(pool);
+    }
+    let after = thread_count();
+    assert!(
+        after <= before + 2,
+        "thread count grew from {before} to {after} across pool cycles"
+    );
 }
 
 #[test]

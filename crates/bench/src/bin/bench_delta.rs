@@ -4,16 +4,17 @@
 //!
 //! Usage (from the workspace root):
 //!
-//! * `bench_delta` — read `results/throughput.json` and
-//!   `results/eval_throughput.json`, print deltas against
+//! * `bench_delta` — read `results/throughput.json`,
+//!   `results/eval_throughput.json` and `results/serve_latency.json`,
+//!   print deltas against
 //!   `crates/bench/baseline/BENCH_throughput.json`;
 //! * `bench_delta --record` — overwrite the committed baseline with the
-//!   fresh results (run both `exp_throughput` and `exp_eval_throughput`
-//!   first).
+//!   fresh results (run `exp_throughput`, `exp_eval_throughput` and
+//!   `exp_serve_latency` first).
 
 use mood_bench::perf::{
     delta_report, read_json, write_json, BenchBaseline, BASELINE_PATH, EVAL_THROUGHPUT_PATH,
-    THROUGHPUT_PATH,
+    SERVE_LATENCY_PATH, THROUGHPUT_PATH,
 };
 
 fn main() {
@@ -21,13 +22,18 @@ fn main() {
     let current = BenchBaseline {
         throughput: read_json(THROUGHPUT_PATH),
         eval_throughput: read_json(EVAL_THROUGHPUT_PATH),
+        serve_latency: read_json(SERVE_LATENCY_PATH),
     };
 
     if record {
-        if current.throughput.is_none() && current.eval_throughput.is_none() {
+        if current.throughput.is_none()
+            && current.eval_throughput.is_none()
+            && current.serve_latency.is_none()
+        {
             eprintln!(
-                "nothing to record: run exp_throughput / exp_eval_throughput first \
-                 (expected {THROUGHPUT_PATH} and {EVAL_THROUGHPUT_PATH})"
+                "nothing to record: run exp_throughput / exp_eval_throughput / \
+                 exp_serve_latency first (expected {THROUGHPUT_PATH}, \
+                 {EVAL_THROUGHPUT_PATH} and {SERVE_LATENCY_PATH})"
             );
             return;
         }
@@ -40,7 +46,10 @@ fn main() {
                 .or_else(|| previous.as_ref().and_then(|p| p.throughput.clone())),
             eval_throughput: current
                 .eval_throughput
-                .or_else(|| previous.and_then(|p| p.eval_throughput)),
+                .or_else(|| previous.as_ref().and_then(|p| p.eval_throughput.clone())),
+            serve_latency: current
+                .serve_latency
+                .or_else(|| previous.and_then(|p| p.serve_latency)),
         };
         write_json(BASELINE_PATH, &merged).expect("write baseline");
         println!("recorded baseline -> {BASELINE_PATH}");

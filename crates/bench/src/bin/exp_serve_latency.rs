@@ -1,0 +1,184 @@
+//! Serve-layer latency: an in-process `mood-serve` server driven over
+//! loopback by concurrent keep-alive clients, recording p50/p99/mean
+//! per endpoint into the BENCH JSON (`results/serve_latency.json`;
+//! `bench_delta` compares requests/sec against the committed baseline).
+//!
+//! Two endpoints are measured:
+//!
+//! * `protect` — single-user requests round-robined over the test set
+//!   from N concurrent keep-alive clients (the online, many-small-
+//!   requests regime the persistent executor exists for);
+//! * `protect_batch` — the whole test set in one request, fanned out
+//!   through `protect_stream` on the server's executor.
+//!
+//! Usage: `cargo run --release -p mood-bench --bin exp_serve_latency
+//!         [--scale X] [--threads N]`
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mood_bench::perf::{ServeLatencyReport, ServeLatencyRow, SERVE_LATENCY_PATH};
+use mood_bench::{cli_options, Adversary, ExperimentContext};
+use mood_serve::{BatchRequest, Client, EngineTemplate, MoodServer, ProtectRequest, ServeConfig};
+use mood_synth::presets;
+use mood_trace::Trace;
+
+/// Latency of `sorted` at percentile `p` (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn row_from(
+    endpoint: &str,
+    concurrency: usize,
+    mut latencies_ms: Vec<f64>,
+    wall_s: f64,
+) -> ServeLatencyRow {
+    latencies_ms.sort_by(f64::total_cmp);
+    let requests = latencies_ms.len();
+    let mean = latencies_ms.iter().sum::<f64>() / requests.max(1) as f64;
+    ServeLatencyRow {
+        endpoint: endpoint.to_string(),
+        concurrency,
+        requests,
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+        mean_ms: mean,
+        requests_per_s: requests as f64 / wall_s.max(1e-9),
+    }
+}
+
+fn main() {
+    let (scale, threads) = cli_options();
+    println!("=== mood-serve loopback latency (privamov-like, scale {scale}) ===");
+    let ctx = ExperimentContext::load(&presets::privamov_like(), scale);
+    let template = EngineTemplate::from_engine(&ctx.engine(Adversary::All));
+    let traces: Vec<Trace> = ctx.test.iter().cloned().collect();
+    let users = traces.len();
+
+    let concurrency = threads.clamp(1, 8);
+    let config = ServeConfig {
+        connection_workers: concurrency + 1,
+        executor_threads: threads.max(1),
+        ..ServeConfig::default()
+    };
+    let server = MoodServer::start(config, template).expect("bind loopback server");
+    let addr = server.local_addr();
+    println!(
+        "{users} users, {concurrency} concurrent clients -> http://{addr} \
+         [persistent x{}]\n",
+        threads.max(1)
+    );
+
+    // --- single-user protect: warmup, then measured round-robin ---
+    let per_client = (users * 2).div_ceil(concurrency).max(8);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    {
+        let mut warm = Client::connect(addr).expect("connect warmup client");
+        for (i, trace) in traces.iter().take(concurrency.min(users)).enumerate() {
+            let request = ProtectRequest {
+                request_id: 1_000_000 + i as u64,
+                trace: trace.clone(),
+            };
+            let resp = warm
+                .post_json("/v1/protect", &request)
+                .expect("warmup request");
+            assert_eq!(resp.status, 200, "warmup failed: {:?}", resp.text());
+        }
+    }
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_idx in 0..concurrency {
+            let latencies = &latencies;
+            let traces = &traces;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect client");
+                let mut own: Vec<f64> = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let trace = &traces[(client_idx + i * concurrency) % traces.len()];
+                    let request = ProtectRequest {
+                        request_id: (client_idx * per_client + i) as u64,
+                        trace: trace.clone(),
+                    };
+                    let t0 = Instant::now();
+                    let resp = client.post_json("/v1/protect", &request).expect("request");
+                    assert_eq!(resp.status, 200, "protect failed: {:?}", resp.text());
+                    own.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies.lock().expect("latency sink").extend(own);
+            });
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let protect_row = row_from(
+        "protect",
+        concurrency,
+        latencies.into_inner().expect("latency sink"),
+        wall,
+    );
+
+    // --- whole-set batch protect ---
+    let rounds = 3;
+    let mut batch_lat: Vec<f64> = Vec::with_capacity(rounds);
+    let mut client = Client::connect(addr).expect("connect batch client");
+    let batch_started = Instant::now();
+    for round in 0..rounds {
+        let request = BatchRequest {
+            request_id: 5_000_000 + round as u64,
+            traces: traces.clone(),
+        };
+        let t0 = Instant::now();
+        let resp = client
+            .post_json("/v1/protect/batch", &request)
+            .expect("batch request");
+        assert_eq!(resp.status, 200, "batch failed: {:?}", resp.text());
+        batch_lat.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let batch_wall = batch_started.elapsed().as_secs_f64();
+    let batch_row = row_from("protect_batch", 1, batch_lat, batch_wall);
+
+    let metrics = server.metrics();
+    println!(
+        "{:<14} x{:<2} {:>6} req   p50 {:>8.2} ms   p99 {:>8.2} ms   mean {:>8.2} ms   {:>8.2} req/s",
+        protect_row.endpoint,
+        protect_row.concurrency,
+        protect_row.requests,
+        protect_row.p50_ms,
+        protect_row.p99_ms,
+        protect_row.mean_ms,
+        protect_row.requests_per_s
+    );
+    println!(
+        "{:<14} x{:<2} {:>6} req   p50 {:>8.2} ms   p99 {:>8.2} ms   mean {:>8.2} ms   {:>8.2} req/s",
+        batch_row.endpoint,
+        batch_row.concurrency,
+        batch_row.requests,
+        batch_row.p50_ms,
+        batch_row.p99_ms,
+        batch_row.mean_ms,
+        batch_row.requests_per_s
+    );
+    println!(
+        "\nserver: {} responses, {} users protected, {} scratch reuses, {} connections",
+        metrics.responses_total(),
+        metrics.users_protected_total(),
+        metrics.scratch_reuses_total(),
+        metrics.connections_total()
+    );
+    server.shutdown();
+
+    let doc = ServeLatencyReport {
+        dataset: ctx.spec.name.clone(),
+        scale_note: format!("privamov-like scaled by {scale}"),
+        rows: vec![protect_row, batch_row],
+    };
+    mood_bench::perf::write_json(SERVE_LATENCY_PATH, &doc).expect("write serve latency results");
+    println!(
+        "\n{}",
+        serde_json::to_string_pretty(&doc).expect("serializable rows")
+    );
+}

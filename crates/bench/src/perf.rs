@@ -17,6 +17,8 @@ pub const BASELINE_PATH: &str = "crates/bench/baseline/BENCH_throughput.json";
 pub const THROUGHPUT_PATH: &str = "results/throughput.json";
 /// Where `exp_eval_throughput` writes its fresh results.
 pub const EVAL_THROUGHPUT_PATH: &str = "results/eval_throughput.json";
+/// Where `exp_serve_latency` writes its fresh results.
+pub const SERVE_LATENCY_PATH: &str = "results/serve_latency.json";
 
 /// One measured batch-protection configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -82,14 +84,48 @@ pub struct EvalThroughputReport {
     pub rows: Vec<EvalThroughputRow>,
 }
 
-/// The combined baseline document (`BENCH_throughput.json`): both
-/// benchmark reports, either of which may be absent.
+/// One measured serve-latency configuration (loopback, in-process
+/// server driven by `exp_serve_latency`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeLatencyRow {
+    /// Endpoint label (`protect`, `protect_batch`).
+    pub endpoint: String,
+    /// Concurrent keep-alive clients driving the endpoint.
+    pub concurrency: usize,
+    /// Requests measured (after warmup).
+    pub requests: usize,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean request latency, milliseconds.
+    pub mean_ms: f64,
+    /// Aggregate requests per second across all clients — the headline
+    /// rate `bench_delta` compares.
+    pub requests_per_s: f64,
+}
+
+/// The document `exp_serve_latency` emits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeLatencyReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Human note about the scale factor.
+    pub scale_note: String,
+    /// One row per measured configuration.
+    pub rows: Vec<ServeLatencyRow>,
+}
+
+/// The combined baseline document (`BENCH_throughput.json`): every
+/// benchmark report, any of which may be absent.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchBaseline {
     /// Batch-protection throughput at recording time.
     pub throughput: Option<ThroughputReport>,
     /// Attack-evaluation throughput at recording time.
     pub eval_throughput: Option<EvalThroughputReport>,
+    /// HTTP serve latency at recording time.
+    pub serve_latency: Option<ServeLatencyReport>,
 }
 
 /// Reads and parses a JSON document, `None` when the file is missing or
@@ -180,6 +216,17 @@ pub fn delta_report(baseline: &BenchBaseline, current: &BenchBaseline) -> Vec<St
         current.eval_throughput.as_ref().map(|r| r.rows.as_slice()),
         |r| (r.executor.as_str(), r.threads, r.records_per_s),
     );
+    section_report(
+        &mut out,
+        "serve latency (loopback)",
+        "req/s",
+        baseline
+            .serve_latency
+            .as_ref()
+            .map(|r| (r.rows.as_slice(), r.scale_note.as_str())),
+        current.serve_latency.as_ref().map(|r| r.rows.as_slice()),
+        |r| (r.endpoint.as_str(), r.concurrency, r.requests_per_s),
+    );
     out
 }
 
@@ -208,6 +255,7 @@ mod tests {
                 rows,
             }),
             eval_throughput: None,
+            serve_latency: None,
         }
     }
 

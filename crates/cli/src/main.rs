@@ -7,6 +7,7 @@
 //! * `mood protect` — protect a dataset with MooD and publish pseudonymized CSV
 //! * `mood attack`  — run the re-identification attacks against a dataset
 //! * `mood eval`    — count-query utility of a protected dataset vs the original
+//! * `mood serve`   — run the long-running HTTP protection service
 //!
 //! Run `mood help` for per-command usage.
 
@@ -17,6 +18,7 @@ use std::process::ExitCode;
 use mood_core::{publish, EngineBuilder, ExecutorKind, MoodConfig};
 use mood_geo::Grid;
 use mood_metrics::CountQueryStats;
+use mood_serve::{MoodServer, ServeConfig};
 use mood_synth::presets;
 use mood_trace::{io as trace_io, TimeDelta};
 
@@ -35,6 +37,9 @@ USAGE:
   mood attack  --input <file.csv> --background <train.csv>
                [--threads <n>] [--executor <sequential|pool|steal|persistent>]
   mood eval    --original <file.csv> --protected <file.csv> [--cell-m <n=800>]
+  mood serve   --background <train.csv> [--addr <host:port=127.0.0.1:7079>]
+               [--threads <n>] [--executor <sequential|pool|steal|persistent>]
+               [--workers <n>] [--seed <n>] [--max-requests <n=0 (forever)>]
   mood help
 
 `mood protect` streams per-user progress to stderr as results complete;
@@ -42,6 +47,12 @@ USAGE:
 `mood attack`'s per-trace fan-out (default: persistent, a long-lived
 pool of parked workers — threads are spawned once per run, not once per
 batch).
+
+`mood serve` runs the online middleware: POST /v1/protect (one trace),
+POST /v1/protect/batch (many, via protect_stream), GET /healthz,
+GET /v1/config, GET /metrics. --seed is the server seed of the
+per-request determinism contract; --max-requests N serves N responses
+then shuts down cleanly (for smoke tests), 0 means run until killed.
 ";
 
 fn main() -> ExitCode {
@@ -57,6 +68,7 @@ fn main() -> ExitCode {
         "protect" => cmd_protect(&opts),
         "attack" => cmd_attack(&opts),
         "eval" => cmd_eval(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -236,7 +248,8 @@ fn cmd_protect(opts: &HashMap<String, String>) -> Result<(), String> {
             );
             let _ = std::io::stderr().flush();
         }
-    });
+    })
+    .map_err(|e| e.to_string())?;
     if quiet == 0 {
         eprintln!();
     }
@@ -314,6 +327,58 @@ fn cmd_eval(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("  cell F1          {:.1}%", stats.cell_f1 * 100.0);
     println!("  weighted Jaccard {:.3}", stats.weighted_jaccard);
     println!("  mean |count error| {:.2}", stats.mean_absolute_error);
+    Ok(())
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let background_path = required(opts, "background")?;
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7079".to_string());
+    let (threads, executor_kind) = executor_opts(opts)?;
+    let workers: usize = parse_or(opts, "workers", threads)?;
+    let seed: u64 = parse_or(opts, "seed", MoodConfig::paper_default().seed)?;
+    let max_requests: u64 = parse_or(opts, "max-requests", 0)?;
+
+    let background = trace_io::read_csv_file(background_path).map_err(|e| e.to_string())?;
+    if background.is_empty() {
+        return Err("background dataset must not be empty".into());
+    }
+    println!(
+        "training POI+PIT+AP attacks on {} users / {} records...",
+        background.user_count(),
+        background.record_count()
+    );
+    let config = ServeConfig {
+        addr,
+        connection_workers: workers.max(1),
+        executor: executor_kind,
+        executor_threads: threads.max(1),
+        server_seed: seed,
+        ..ServeConfig::default()
+    };
+    let server = MoodServer::start_paper_default(config, &background).map_err(|e| e.to_string())?;
+    println!(
+        "mood-serve listening on http://{} [{executor_kind} executor x{threads}, {} connection workers, seed {seed}]",
+        server.local_addr(),
+        workers.max(1)
+    );
+    println!("  GET /healthz | GET /v1/config | GET /metrics | POST /v1/protect | POST /v1/protect/batch");
+    if max_requests == 0 {
+        // Run until the process is killed; the acceptor and workers do
+        // the serving, this thread just stays out of the way.
+        loop {
+            std::thread::park();
+        }
+    }
+    while server.metrics().responses_total() < max_requests {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let served = server.metrics().responses_total();
+    let users = server.metrics().users_protected_total();
+    server.shutdown();
+    println!("served {served} responses ({users} users protected); shut down cleanly");
     Ok(())
 }
 

@@ -64,6 +64,6 @@ pub use exec::{
 };
 pub use hybrid::HybridLppm;
 pub use outcome::{FineGrainedStats, ProtectedTrace, ProtectionOutcome, UserClass, UserProtection};
-pub use pipeline::{protect_dataset, protect_dataset_with, protect_stream, publish};
+pub use pipeline::{protect_dataset, protect_dataset_with, protect_stream, publish, StreamError};
 pub use report::{DistortionEntry, ProtectionReport};
 pub use split::SplitStrategy;

@@ -1,10 +1,43 @@
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use mood_trace::{Dataset, PseudonymFactory, UserId};
 
 use crate::exec::{map_indexed, Executor, ExecutorKind};
 use crate::{MoodEngine, ProtectionReport, UserProtection};
+
+/// Why [`protect_stream`] could not complete normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The caller's sink panicked. Protection itself still completed
+    /// (the executor is not poisoned and stays reusable), but the sink
+    /// was not invoked again after the panic; the payload's message is
+    /// carried here.
+    SinkPanic(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::SinkPanic(msg) => write!(f, "stream sink panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Renders a panic payload's message, for error reporting.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Protects every user of `dataset` with `engine`, fanning users out to
 /// `threads` workers of a persistent pool executor (spawned once for
@@ -66,24 +99,57 @@ pub fn protect_dataset_with(
 ///
 /// The returned report is identical to [`protect_dataset_with`] on the
 /// same engine and dataset, whatever the executor.
+///
+/// A panicking sink cannot poison the executor: the panic is caught,
+/// the sink is simply not invoked again, every user still gets
+/// protected, and the panic surfaces as [`StreamError::SinkPanic`] —
+/// long-running services sharing one executor across requests survive
+/// a misbehaving callback.
+///
+/// # Errors
+///
+/// Returns [`StreamError::SinkPanic`] when the sink panicked (carrying
+/// the first panic's message).
 pub fn protect_stream<F>(
     engine: &MoodEngine,
     dataset: &Dataset,
     executor: &dyn Executor,
     sink: F,
-) -> ProtectionReport
+) -> Result<ProtectionReport, StreamError>
 where
     F: FnMut(&UserProtection) + Send,
 {
     let traces: Vec<&mood_trace::Trace> = dataset.iter().collect();
     let sink = Mutex::new(sink);
+    let panicked = AtomicBool::new(false);
+    let payload: Mutex<Option<String>> = Mutex::new(None);
     let mut outcomes = map_indexed(executor, traces.len(), |i| {
         let outcome = engine.protect_user(traces[i]);
-        (sink.lock().expect("sink lock"))(&outcome);
+        if !panicked.load(Ordering::Acquire) {
+            // The panic is caught *inside* the guard's scope, so the
+            // unwind never crosses the lock and the mutex cannot be
+            // poisoned — the flag alone retires the sink.
+            let mut guard = sink.lock().expect("sink lock");
+            // Re-check under the lock so the sink is never re-entered
+            // after a panic observed by another worker.
+            if !panicked.load(Ordering::Acquire) {
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| (guard)(&outcome))) {
+                    panicked.store(true, Ordering::Release);
+                    payload
+                        .lock()
+                        .expect("panic payload lock")
+                        .get_or_insert(panic_message(p.as_ref()));
+                }
+            }
+        }
         outcome
     });
     outcomes.sort_by_key(|o| o.user);
-    ProtectionReport::from_outcomes(outcomes)
+    let report = ProtectionReport::from_outcomes(outcomes);
+    match payload.into_inner().expect("panic payload lock") {
+        Some(message) => Err(StreamError::SinkPanic(message)),
+        None => Ok(report),
+    }
 }
 
 /// Assembles the publishable dataset from protection outcomes: every
@@ -201,11 +267,45 @@ mod tests {
         let mut seen: Vec<UserId> = Vec::new();
         let streamed = crate::protect_stream(&engine, &test, executor.as_ref(), |outcome| {
             seen.push(outcome.user);
-        });
+        })
+        .expect("sink does not panic");
         assert_eq!(streamed, batch);
         // completion order is arbitrary, but coverage is exact
         let unique: BTreeSet<UserId> = seen.iter().copied().collect();
         assert_eq!(seen.len(), test.user_count());
         assert_eq!(unique.len(), test.user_count());
+    }
+
+    #[test]
+    fn panicking_sink_becomes_an_error_and_spares_the_executor() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        let batch = protect_dataset(&engine, &test, 2);
+
+        for kind in ExecutorKind::all() {
+            // One long-lived executor across both calls — the regime a
+            // service runs in: a panicking callback in request 1 must
+            // not poison request 2.
+            let executor = kind.build(4);
+            let mut calls = 0usize;
+            let err = protect_stream(&engine, &test, executor.as_ref(), |_| {
+                calls += 1;
+                if calls == 2 {
+                    panic!("sink exploded on purpose");
+                }
+            })
+            .expect_err("the sink panic must surface as an error");
+            assert_eq!(
+                err,
+                StreamError::SinkPanic("sink exploded on purpose".to_string()),
+                "{kind}"
+            );
+            assert!(err.to_string().contains("sink exploded"), "{kind}");
+
+            // The executor survives and the next stream is untouched.
+            let streamed = protect_stream(&engine, &test, executor.as_ref(), |_| {})
+                .expect("well-behaved sink");
+            assert_eq!(streamed, batch, "{kind} poisoned by earlier sink panic");
+        }
     }
 }

@@ -47,11 +47,13 @@
 mod persistent;
 mod pool;
 mod sequential;
+pub mod service;
 mod stealing;
 
 pub use persistent::PersistentPoolExecutor;
 pub use pool::ScopedPoolExecutor;
 pub use sequential::SequentialExecutor;
+pub use service::{ServicePool, SubmitError};
 pub use stealing::WorkStealingExecutor;
 
 use std::str::FromStr;

@@ -1,0 +1,323 @@
+//! The service's wire types and its determinism contract.
+//!
+//! # Per-request deterministic seeding
+//!
+//! Every protection request carries a client-chosen `request_id`. The
+//! engine seed for that request is derived as
+//! `request_seed(server_seed, request_id)`; inside the engine, every
+//! random draw then derives from `(engine seed, user, sub-trace start,
+//! variant index)`. A served protected trace is therefore a pure
+//! function of `(server_seed, user, request_id)`:
+//!
+//! * replaying a request against the same server yields byte-identical
+//!   JSON;
+//! * `POST /v1/protect/batch` returns, per user, exactly what
+//!   `POST /v1/protect` returns for that user with the same
+//!   `request_id`;
+//! * both equal the *offline* result of running
+//!   [`mood_core::protect_stream`] with an engine seeded with the same
+//!   derived seed — the gate the serve integration tests enforce.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use mood_attacks::AttackSuite;
+use mood_core::{
+    EngineBuilder, Executor, MoodConfig, MoodEngine, ProtectionReport, UserClass, UserProtection,
+};
+use mood_lppm::Lppm;
+use mood_trace::{Dataset, Trace, UserId};
+
+/// Body of `POST /v1/protect`: one user's trace plus the replay id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtectRequest {
+    /// Client-chosen replay id; the engine seed derives from it.
+    pub request_id: u64,
+    /// The trace to protect.
+    pub trace: Trace,
+}
+
+/// Body of `POST /v1/protect/batch`: many users, one replay id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRequest {
+    /// Client-chosen replay id; the engine seed derives from it.
+    pub request_id: u64,
+    /// The traces to protect (one per user; duplicate users are a 400).
+    pub traces: Vec<Trace>,
+}
+
+/// One published protected (sub-)trace with its provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublishedTrace {
+    /// Name of the protecting LPPM or composition chain.
+    pub lppm: String,
+    /// Spatio-temporal distortion versus the original, in meters.
+    pub distortion_m: f64,
+    /// The protected trace (still under the original user id;
+    /// pseudonymization is the publication step, not the service's).
+    pub trace: Trace,
+}
+
+/// The protection outcome for one user, as served.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtectResult {
+    /// The protected user.
+    pub user: UserId,
+    /// Orphan-disease taxonomy class.
+    pub class: UserClass,
+    /// The published protected (sub-)traces, in time order.
+    pub published: Vec<PublishedTrace>,
+    /// Records in the original trace.
+    pub original_records: usize,
+    /// Original records erased (fine-grained protection only).
+    pub records_dropped: usize,
+}
+
+impl ProtectResult {
+    /// Builds the wire result from an engine outcome.
+    pub fn from_outcome(outcome: &UserProtection) -> Self {
+        Self {
+            user: outcome.user,
+            class: outcome.class,
+            published: outcome
+                .outcome
+                .published()
+                .into_iter()
+                .map(|p| PublishedTrace {
+                    lppm: p.lppm.clone(),
+                    distortion_m: p.distortion_m,
+                    trace: p.trace.clone(),
+                })
+                .collect(),
+            original_records: outcome.original_records,
+            records_dropped: outcome.outcome.records_dropped(),
+        }
+    }
+}
+
+/// Body of a `POST /v1/protect` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtectResponse {
+    /// Echo of the request's replay id.
+    pub request_id: u64,
+    /// The derived engine seed actually used (replay transparency).
+    pub seed: u64,
+    /// The protection outcome.
+    pub result: ProtectResult,
+}
+
+/// Body of a `POST /v1/protect/batch` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchResponse {
+    /// Echo of the request's replay id.
+    pub request_id: u64,
+    /// The derived engine seed actually used (replay transparency).
+    pub seed: u64,
+    /// Users in the batch.
+    pub users_total: usize,
+    /// Record-level data loss of the batch, in percent.
+    pub data_loss_percent: f64,
+    /// Users per protection class (display name → count).
+    pub class_counts: BTreeMap<String, usize>,
+    /// Per-user outcomes, sorted by user.
+    pub results: Vec<ProtectResult>,
+}
+
+impl BatchResponse {
+    /// Builds the wire response from a pipeline report.
+    pub fn from_report(request_id: u64, seed: u64, report: &ProtectionReport) -> Self {
+        Self {
+            request_id,
+            seed,
+            users_total: report.users_total,
+            data_loss_percent: report.data_loss.percent(),
+            class_counts: report
+                .class_counts
+                .iter()
+                .map(|(class, count)| (class.to_string(), *count))
+                .collect(),
+            results: report
+                .outcomes()
+                .iter()
+                .map(ProtectResult::from_outcome)
+                .collect(),
+        }
+    }
+}
+
+/// Body of every non-2xx JSON response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// What went wrong.
+    pub error: String,
+}
+
+/// Body of `GET /v1/config`: the running server's shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigResponse {
+    /// Bound listen address.
+    pub addr: String,
+    /// Execution backend of the batch fan-out.
+    pub executor: String,
+    /// Thread budget of that backend.
+    pub executor_threads: usize,
+    /// Connection workers (concurrent keep-alive connections served).
+    pub connection_workers: usize,
+    /// Accept-queue bound beyond which connections are shed with 503.
+    pub max_pending: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// The server seed of the determinism contract.
+    pub server_seed: u64,
+    /// Names of the base LPPM set.
+    pub lppms: Vec<String>,
+    /// Size of the enumerated composition space.
+    pub compositions: usize,
+    /// Attacks in the trained suite.
+    pub attacks: usize,
+}
+
+/// Everything needed to build per-request engines cheaply: the trained
+/// attack suite and the LPPM set are shared by handle (`Arc` bumps, no
+/// retraining), only the seed differs per request.
+#[derive(Clone)]
+pub struct EngineTemplate {
+    suite: Arc<AttackSuite>,
+    lppms: Arc<[Arc<dyn Lppm>]>,
+    config: MoodConfig,
+}
+
+impl std::fmt::Debug for EngineTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineTemplate")
+            .field("attacks", &self.suite.len())
+            .field("lppms", &self.lppm_names())
+            .finish()
+    }
+}
+
+impl EngineTemplate {
+    /// The paper's full setup: POI/PIT/AP attacks trained on
+    /// `background`, LPPM set {Geo-I, TRL, HMC}, paper configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `background` is empty.
+    pub fn paper_default(background: &Dataset) -> Self {
+        let engine = EngineBuilder::paper_default(background)
+            .build()
+            .expect("paper defaults are valid");
+        Self::from_engine(&engine)
+    }
+
+    /// Shares an existing engine's suite, LPPM set and configuration.
+    pub fn from_engine(engine: &MoodEngine) -> Self {
+        Self {
+            suite: engine.shared_suite(),
+            lppms: engine.shared_lppms(),
+            config: *engine.config(),
+        }
+    }
+
+    /// Builds the engine for one request: same suite, LPPMs and
+    /// configuration, the derived `seed`, candidates on `executor`.
+    pub fn engine_for_on(&self, seed: u64, executor: Arc<dyn Executor>) -> MoodEngine {
+        let mut config = self.config;
+        config.seed = seed;
+        EngineBuilder::new(Arc::clone(&self.suite))
+            .lppms_shared(Arc::clone(&self.lppms))
+            .config(config)
+            .executor(executor)
+            .build()
+            .expect("template carries a validated configuration")
+    }
+
+    /// [`EngineTemplate::engine_for_on`] with the sequential candidate
+    /// executor — the offline-comparison shape used by tests.
+    pub fn engine_for(&self, seed: u64) -> MoodEngine {
+        self.engine_for_on(seed, Arc::new(mood_core::SequentialExecutor))
+    }
+
+    /// Names of the base LPPM set.
+    pub fn lppm_names(&self) -> Vec<String> {
+        self.lppms.iter().map(|l| l.name().to_string()).collect()
+    }
+
+    /// Number of attacks in the trained suite.
+    pub fn attack_count(&self) -> usize {
+        self.suite.len()
+    }
+}
+
+/// Derives the engine seed of one request from the server seed and the
+/// client's `request_id` (SplitMix64 chaining, matching the engine's
+/// own stream derivation style).
+pub fn request_seed(server_seed: u64, request_id: u64) -> u64 {
+    let mut h = server_seed;
+    h ^= mix64(request_id);
+    mix64(h)
+}
+
+/// SplitMix64 finalizer.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_seed_is_deterministic_and_sensitive() {
+        assert_eq!(request_seed(1, 2), request_seed(1, 2));
+        assert_ne!(request_seed(1, 2), request_seed(1, 3));
+        assert_ne!(request_seed(1, 2), request_seed(2, 2));
+    }
+
+    #[test]
+    fn wire_types_roundtrip_through_json() {
+        use mood_geo::GeoPoint;
+        use mood_trace::{Record, Timestamp};
+
+        let records: Vec<Record> = (0..4)
+            .map(|i| {
+                Record::new(
+                    GeoPoint::new(46.2, 6.1).unwrap(),
+                    Timestamp::from_unix(i * 600),
+                )
+            })
+            .collect();
+        let trace = Trace::new(UserId::new(9), records).unwrap();
+        let req = ProtectRequest {
+            request_id: 42,
+            trace: trace.clone(),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: ProtectRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+
+        let resp = ProtectResponse {
+            request_id: 42,
+            seed: request_seed(7, 42),
+            result: ProtectResult {
+                user: UserId::new(9),
+                class: UserClass::SingleLppm,
+                published: vec![PublishedTrace {
+                    lppm: "Geo-I".to_string(),
+                    distortion_m: 120.5,
+                    trace,
+                }],
+                original_records: 4,
+                records_dropped: 0,
+            },
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: ProtectResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+    }
+}

@@ -1,0 +1,197 @@
+//! A minimal blocking HTTP/1.1 client for loopback use: integration
+//! tests, the latency benchmark and the CI smoke step. Keep-alive by
+//! default — one [`Client`] holds one connection and reuses it across
+//! requests, which is exactly the path the server's keep-alive loop
+//! needs exercised.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the body is not UTF-8.
+    pub fn text(&self) -> io::Result<&str> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))
+    }
+
+    /// Deserializes the JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the body is not valid JSON of shape `T`.
+    pub fn json<T: Deserialize>(&self) -> io::Result<T> {
+        serde_json::from_reader(self.body.as_slice())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// A keep-alive connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects, arming a generous read timeout so a wedged server
+    /// fails a test instead of hanging it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect/configuration error, if any.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads the response off the same
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport error or a parse failure.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        let body = body.unwrap_or(&[]);
+        let written = write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nhost: mood-serve\r\ncontent-length: {}\r\ncontent-type: application/json\r\n\r\n",
+            body.len()
+        )
+        .and_then(|()| self.stream.write_all(body))
+        .and_then(|()| self.stream.flush());
+        match written {
+            Ok(()) => self.read_response(),
+            // The server may have answered-and-closed before we wrote
+            // (load shedding does exactly that); a response can still be
+            // sitting in the receive buffer — prefer it over the EPIPE.
+            Err(write_err) => self.read_response().map_err(|_| write_err),
+        }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport error or a parse failure.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport error, a serialization failure or a parse
+    /// failure.
+    pub fn post_json<T: Serialize>(&mut self, path: &str, value: &T) -> io::Result<ClientResponse> {
+        let mut body = Vec::with_capacity(256);
+        serde_json::to_writer(&mut body, value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.request("POST", path, Some(&body))
+    }
+
+    fn fill(&mut self) -> io::Result<usize> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let head_len = loop {
+            if let Some(pos) = crate::http::find_subsequence(&self.buf, b"\r\n\r\n") {
+                break pos + 4;
+            }
+            if self.fill()? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ));
+            }
+        };
+        // Same head-splitting rules as the server (crate::http).
+        let (status_line, headers) = crate::http::split_head(&self.buf[..head_len - 4])
+            .map_err(|reason| io::Error::new(io::ErrorKind::InvalidData, reason))?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed status line `{status_line}`"),
+                )
+            })?;
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        while self.buf.len() < head_len + content_length {
+            if self.fill()? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+        }
+        let body = self.buf[head_len..head_len + content_length].to_vec();
+        self.buf.drain(..head_len + content_length);
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// One-shot request on a fresh connection (the non-keep-alive path).
+///
+/// # Errors
+///
+/// Returns the transport error or a parse failure.
+pub fn fetch<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<ClientResponse> {
+    let mut client = Client::connect(addr)?;
+    client.request(method, path, body)
+}

@@ -1,0 +1,372 @@
+//! Service observability: request/response counters, a latency
+//! histogram and engine-level gauges, rendered as Prometheus text
+//! (`GET /metrics`).
+//!
+//! Counters are lock-free atomics on the request path; only the
+//! status-code map takes a (short, uncontended) lock. Rendering
+//! happens on scrape, not on update.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The endpoints the service distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /v1/config`
+    Config,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /v1/protect`
+    Protect,
+    /// `POST /v1/protect/batch`
+    ProtectBatch,
+    /// Anything else (404/405 traffic).
+    Other,
+}
+
+impl Endpoint {
+    /// Every endpoint, in rendering order.
+    pub const ALL: [Endpoint; 6] = [
+        Endpoint::Healthz,
+        Endpoint::Config,
+        Endpoint::Metrics,
+        Endpoint::Protect,
+        Endpoint::ProtectBatch,
+        Endpoint::Other,
+    ];
+
+    /// The metrics label for this endpoint.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Config => "config",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Protect => "protect",
+            Endpoint::ProtectBatch => "protect_batch",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Healthz => 0,
+            Endpoint::Config => 1,
+            Endpoint::Metrics => 2,
+            Endpoint::Protect => 3,
+            Endpoint::ProtectBatch => 4,
+            Endpoint::Other => 5,
+        }
+    }
+}
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket
+/// is implicit `+Inf`.
+const BUCKET_BOUNDS_US: [u64; 8] = [
+    500, 1_000, 5_000, 25_000, 100_000, 250_000, 1_000_000, 5_000_000,
+];
+
+/// Counters and gauges of one running server.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    requests: [AtomicU64; 6],
+    statuses: Mutex<BTreeMap<u16, u64>>,
+    buckets: [AtomicU64; 9],
+    latency_sum_us: AtomicU64,
+    responses: AtomicU64,
+    users_protected: AtomicU64,
+    scratch_reuses: AtomicU64,
+    connections: AtomicU64,
+    overload_rejected: AtomicU64,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self {
+            requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            statuses: Mutex::new(BTreeMap::new()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_us: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            users_protected: AtomicU64::new(0),
+            scratch_reuses: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            overload_rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one routed request.
+    pub fn record_request(&self, endpoint: Endpoint) {
+        self.requests[endpoint.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one routed response with its handling latency (feeds the
+    /// histogram — use [`ServerMetrics::record_error_status`] for
+    /// responses with no meaningful handling time).
+    pub fn record_response(&self, status: u16, latency: Duration) {
+        self.record_status(status);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Counts a status-only response — load sheds (503) and protocol
+    /// failures (4xx), whose "latency" is peer wait time, not handling
+    /// time; they would poison the histogram's percentiles.
+    pub fn record_error_status(&self, status: u16) {
+        self.record_status(status);
+    }
+
+    fn record_status(&self, status: u16) {
+        *self
+            .statuses
+            .lock()
+            .expect("status map lock")
+            .entry(status)
+            .or_insert(0) += 1;
+        self.responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds protected users to the running total.
+    pub fn add_users(&self, n: u64) {
+        self.users_protected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds a request engine's scratch reuses to the running total.
+    pub fn add_scratch_reuses(&self, n: u64) {
+        self.scratch_reuses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection shed with 503 because the accept queue was
+    /// full.
+    pub fn record_overload(&self) {
+        self.overload_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Responses sent so far (any status).
+    pub fn responses_total(&self) -> u64 {
+        self.responses.load(Ordering::Relaxed)
+    }
+
+    /// Requests routed so far (any endpoint).
+    pub fn requests_total(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Connections accepted so far.
+    pub fn connections_total(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with 503 so far.
+    pub fn overload_rejected_total(&self) -> u64 {
+        self.overload_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Users protected so far (single + batch).
+    pub fn users_protected_total(&self) -> u64 {
+        self.users_protected.load(Ordering::Relaxed)
+    }
+
+    /// Scratch-arena reuses accumulated from request engines so far.
+    pub fn scratch_reuses_total(&self) -> u64 {
+        self.scratch_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Responses sent with `status` so far.
+    pub fn responses_with_status(&self, status: u16) -> u64 {
+        self.statuses
+            .lock()
+            .expect("status map lock")
+            .get(&status)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Renders the Prometheus text exposition for `GET /metrics`.
+    pub fn render(
+        &self,
+        backend: &str,
+        executor_threads: usize,
+        connection_workers: usize,
+    ) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("# TYPE mood_serve_requests_total counter\n");
+        for endpoint in Endpoint::ALL {
+            out.push_str(&format!(
+                "mood_serve_requests_total{{endpoint=\"{}\"}} {}\n",
+                endpoint.label(),
+                self.requests[endpoint.index()].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE mood_serve_responses_total counter\n");
+        for (status, count) in self.statuses.lock().expect("status map lock").iter() {
+            out.push_str(&format!(
+                "mood_serve_responses_total{{status=\"{status}\"}} {count}\n"
+            ));
+        }
+        out.push_str("# TYPE mood_serve_request_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "mood_serve_request_seconds_bucket{{le=\"{}\"}} {cumulative}\n",
+                bound as f64 / 1e6
+            ));
+        }
+        cumulative += self.buckets[BUCKET_BOUNDS_US.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "mood_serve_request_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "mood_serve_request_seconds_sum {}\n",
+            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!("mood_serve_request_seconds_count {cumulative}\n"));
+        out.push_str("# TYPE mood_serve_users_protected_total counter\n");
+        out.push_str(&format!(
+            "mood_serve_users_protected_total {}\n",
+            self.users_protected.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE mood_serve_scratch_reuses_total counter\n");
+        out.push_str(&format!(
+            "mood_serve_scratch_reuses_total {}\n",
+            self.scratch_reuses.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE mood_serve_connections_total counter\n");
+        out.push_str(&format!(
+            "mood_serve_connections_total {}\n",
+            self.connections.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE mood_serve_overload_rejected_total counter\n");
+        out.push_str(&format!(
+            "mood_serve_overload_rejected_total {}\n",
+            self.overload_rejected.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE mood_serve_executor_threads gauge\n");
+        out.push_str(&format!(
+            "mood_serve_executor_threads{{backend=\"{backend}\"}} {executor_threads}\n"
+        ));
+        out.push_str("# TYPE mood_serve_connection_workers gauge\n");
+        out.push_str(&format!(
+            "mood_serve_connection_workers {connection_workers}\n"
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = ServerMetrics::new();
+        m.record_request(Endpoint::Healthz);
+        m.record_request(Endpoint::Protect);
+        m.record_request(Endpoint::Protect);
+        m.record_response(200, Duration::from_micros(300));
+        m.record_response(200, Duration::from_millis(2));
+        m.record_response(404, Duration::from_millis(30));
+        m.add_users(5);
+        m.add_scratch_reuses(7);
+        m.record_connection();
+        m.record_overload();
+
+        assert_eq!(m.requests_total(), 3);
+        assert_eq!(m.responses_total(), 3);
+        assert_eq!(m.responses_with_status(200), 2);
+        assert_eq!(m.responses_with_status(404), 1);
+        assert_eq!(m.responses_with_status(500), 0);
+
+        let text = m.render("persistent", 4, 2);
+        assert!(
+            text.contains("mood_serve_requests_total{endpoint=\"protect\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_responses_total{status=\"200\"} 2"),
+            "{text}"
+        );
+        // 300 µs lands in the first bucket; everything is <= +Inf.
+        assert!(
+            text.contains("mood_serve_request_seconds_bucket{le=\"0.0005\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_request_seconds_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_request_seconds_count 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_users_protected_total 5"),
+            "{text}"
+        );
+        assert!(text.contains("mood_serve_scratch_reuses_total 7"), "{text}");
+        assert!(
+            text.contains("mood_serve_executor_threads{backend=\"persistent\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("mood_serve_connection_workers 2"), "{text}");
+        assert!(
+            text.contains("mood_serve_overload_rejected_total 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn error_statuses_count_without_touching_the_histogram() {
+        let m = ServerMetrics::new();
+        m.record_response(200, Duration::from_millis(2));
+        m.record_error_status(503);
+        m.record_error_status(408);
+        assert_eq!(m.responses_total(), 3);
+        assert_eq!(m.responses_with_status(503), 1);
+        let text = m.render("persistent", 1, 1);
+        assert!(
+            text.contains("mood_serve_request_seconds_count 1"),
+            "histogram must only see routed responses: {text}"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = ServerMetrics::new();
+        // One in every bucket, including the overflow bucket.
+        for us in [
+            400, 900, 4_000, 20_000, 90_000, 200_000, 900_000, 4_000_000, 60_000_000,
+        ] {
+            m.record_response(200, Duration::from_micros(us));
+        }
+        let text = m.render("sequential", 1, 1);
+        assert!(text.contains("{le=\"0.0005\"} 1"), "{text}");
+        assert!(text.contains("{le=\"0.001\"} 2"), "{text}");
+        assert!(text.contains("{le=\"5\"} 8"), "{text}");
+        assert!(text.contains("{le=\"+Inf\"} 9"), "{text}");
+    }
+}

@@ -1,0 +1,464 @@
+//! The long-running protection server: acceptor thread, keep-alive
+//! connection workers on a dedicated [`ServicePool`], routing, and a
+//! graceful shutdown that joins every thread it spawned.
+//!
+//! ```text
+//!  clients ──► acceptor ──try_submit──► ServicePool (connection workers)
+//!                 │ full?                     │ per request
+//!                 └──► 503, close             ├─ engine_for_on(seed)  one sibling engine
+//!                                             └─ protect_user / protect_stream
+//!                                                    └─ shared executor (persistent pool)
+//! ```
+//!
+//! Backpressure: the accept queue is bounded (`max_pending`); when it
+//! is full the acceptor answers `503 Service Unavailable` inline and
+//! closes — it never blocks and never queues unboundedly. Shutdown:
+//! stop accepting, wake the acceptor with a loopback connect, let the
+//! connection workers observe the flag at their next read poll, drain,
+//! join. Dropping the server performs the same shutdown.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mood_core::{protect_stream, Executor, ExecutorKind, MoodConfig};
+use mood_exec::{ServicePool, SubmitError};
+use mood_trace::Dataset;
+
+use crate::api::{
+    request_seed, BatchRequest, BatchResponse, ConfigResponse, EngineTemplate, ErrorBody,
+    ProtectRequest, ProtectResponse, ProtectResult,
+};
+use crate::http::{Conn, Request, RequestOutcome, Response};
+use crate::metrics::{Endpoint, ServerMetrics};
+
+/// How often blocked reads wake up to check shutdown and idle state.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Shape of a [`MoodServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Connection workers — concurrently served keep-alive connections.
+    pub connection_workers: usize,
+    /// Execution backend for the user-level fan-out of batch requests
+    /// (and the candidate-level batches inside every request).
+    pub executor: ExecutorKind,
+    /// Thread budget of that backend.
+    pub executor_threads: usize,
+    /// The server seed of the determinism contract (see [`crate::api`]).
+    pub server_seed: u64,
+    /// Maximum accepted request-body size in bytes; larger bodies are
+    /// answered with 413.
+    pub max_body_bytes: usize,
+    /// Accept-queue bound; connections beyond it are shed with 503.
+    pub max_pending: usize,
+    /// How long an idle keep-alive connection is held before closing.
+    pub keep_alive: Duration,
+    /// How long a partially received request may dribble in before the
+    /// connection is answered with 408.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            connection_workers: 4,
+            executor: ExecutorKind::Persistent,
+            executor_threads: 4,
+            server_seed: MoodConfig::paper_default().seed,
+            max_body_bytes: 4 * 1024 * 1024,
+            max_pending: 128,
+            keep_alive: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// State shared by the acceptor, the connection workers and the handle.
+struct ServerShared {
+    template: EngineTemplate,
+    executor: Arc<dyn Executor>,
+    metrics: ServerMetrics,
+    config: ServeConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+}
+
+/// A running protection server. Shut it down explicitly with
+/// [`MoodServer::shutdown`] or implicitly by dropping it; either way
+/// every spawned thread (acceptor, connection workers, executor
+/// workers) is joined — no leaks.
+pub struct MoodServer {
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: Option<Arc<ServicePool<TcpStream>>>,
+}
+
+impl std::fmt::Debug for MoodServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MoodServer")
+            .field("addr", &self.shared.addr)
+            .field("executor", &self.shared.executor.name())
+            .finish()
+    }
+}
+
+impl MoodServer {
+    /// Binds, spawns the acceptor and the connection-worker pool, and
+    /// returns immediately; the server runs until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/configuration error, if any.
+    pub fn start(config: ServeConfig, template: EngineTemplate) -> io::Result<MoodServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let executor = config.executor.build(config.executor_threads.max(1));
+        let shared = Arc::new(ServerShared {
+            template,
+            executor,
+            metrics: ServerMetrics::new(),
+            config,
+            addr,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let worker_shared = Arc::clone(&shared);
+        let pool = Arc::new(ServicePool::new(
+            "mood-serve",
+            shared.config.connection_workers,
+            shared.config.max_pending,
+            move |_slot, stream: TcpStream| {
+                handle_connection(&worker_shared, stream);
+            },
+        ));
+
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor_pool = Arc::clone(&pool);
+        let acceptor = std::thread::Builder::new()
+            .name("mood-serve-accept".to_string())
+            .spawn(move || acceptor_loop(&listener, &acceptor_shared, &acceptor_pool))?;
+
+        Ok(MoodServer {
+            shared,
+            acceptor: Some(acceptor),
+            pool: Some(pool),
+        })
+    }
+
+    /// Convenience: a server over the paper-default engine trained on
+    /// `background`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/configuration error, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `background` is empty (attack training needs data).
+    pub fn start_paper_default(
+        config: ServeConfig,
+        background: &Dataset,
+    ) -> io::Result<MoodServer> {
+        Self::start(config, EngineTemplate::paper_default(background))
+    }
+
+    /// The bound listen address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The server's metrics (live counters).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight requests,
+    /// join the acceptor, every connection worker and the executor.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the acceptor out of its blocking accept. A wildcard
+            // bind reports the unspecified address, which is not
+            // connectable everywhere — wake via loopback instead.
+            let mut wake = self.shared.addr;
+            if wake.ip().is_unspecified() {
+                wake.set_ip(match wake.ip() {
+                    std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect(wake);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+    }
+}
+
+impl Drop for MoodServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &ServerShared, pool: &ServicePool<TcpStream>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.metrics.record_connection();
+        match pool.try_submit(stream) {
+            Ok(()) => {}
+            Err(SubmitError::Full(mut stream) | SubmitError::ShuttingDown(mut stream)) => {
+                // Shed load inline; never block the accept loop. Sheds
+                // count as status-only responses — they carry no
+                // handling latency for the histogram.
+                shared.metrics.record_overload();
+                shared.metrics.record_error_status(503);
+                let resp = Response::json(
+                    503,
+                    &ErrorBody {
+                        error: "server overloaded: accept queue full".to_string(),
+                    },
+                )
+                .closing();
+                let _ = resp.write_to(&mut stream);
+            }
+        }
+    }
+}
+
+/// Serves one connection until close, idle timeout or shutdown.
+fn handle_connection(shared: &ServerShared, stream: TcpStream) {
+    let Ok(mut conn) = Conn::new(stream, READ_POLL) else {
+        return;
+    };
+    // A connection drained from the queue during shutdown still gets a
+    // proper answer, like the acceptor's shed path — not a bare close.
+    if shared.shutdown.load(Ordering::Acquire) {
+        shared.metrics.record_error_status(503);
+        let resp = Response::json(
+            503,
+            &ErrorBody {
+                error: "server shutting down".to_string(),
+            },
+        )
+        .closing();
+        let _ = conn.write_response(&resp);
+        return;
+    }
+    let mut idle_since = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match conn.read_request(shared.config.max_body_bytes, shared.config.request_timeout) {
+            RequestOutcome::Closed => return,
+            RequestOutcome::Idle => {
+                if idle_since.elapsed() >= shared.config.keep_alive {
+                    return;
+                }
+            }
+            RequestOutcome::Bad { status, reason } => {
+                // Protocol failures carry no meaningful handling
+                // latency (the time went to waiting on the peer);
+                // status-only, keep the histogram honest.
+                shared.metrics.record_error_status(status);
+                let resp = Response::json(status, &ErrorBody { error: reason }).closing();
+                let _ = conn.write_response(&resp);
+                return;
+            }
+            RequestOutcome::Complete(request) => {
+                let started = Instant::now();
+                let mut resp = route(shared, &request);
+                if request.close || shared.shutdown.load(Ordering::Acquire) {
+                    resp.close = true;
+                }
+                shared
+                    .metrics
+                    .record_response(resp.status, started.elapsed());
+                let close = resp.close;
+                if conn.write_response(&resp).is_err() || close {
+                    return;
+                }
+                // The keep-alive clock starts when the response goes
+                // out — handling time must not count against the
+                // client's idle budget.
+                idle_since = Instant::now();
+            }
+        }
+    }
+}
+
+/// Dispatches one request to its handler.
+fn route(shared: &ServerShared, request: &Request) -> Response {
+    const KNOWN: [&str; 5] = [
+        "/healthz",
+        "/v1/config",
+        "/metrics",
+        "/v1/protect",
+        "/v1/protect/batch",
+    ];
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => {
+            shared.metrics.record_request(Endpoint::Healthz);
+            Response::text(200, "ok\n")
+        }
+        ("GET", "/v1/config") => {
+            shared.metrics.record_request(Endpoint::Config);
+            handle_config(shared)
+        }
+        ("GET", "/metrics") => {
+            shared.metrics.record_request(Endpoint::Metrics);
+            Response::text(
+                200,
+                &shared.metrics.render(
+                    shared.executor.name(),
+                    shared.executor.max_threads(),
+                    shared.config.connection_workers,
+                ),
+            )
+        }
+        ("POST", "/v1/protect") => {
+            shared.metrics.record_request(Endpoint::Protect);
+            handle_protect(shared, &request.body)
+        }
+        ("POST", "/v1/protect/batch") => {
+            shared.metrics.record_request(Endpoint::ProtectBatch);
+            handle_batch(shared, &request.body)
+        }
+        (_, path) if KNOWN.contains(&path) => {
+            shared.metrics.record_request(Endpoint::Other);
+            Response::json(
+                405,
+                &ErrorBody {
+                    error: format!("method {} not allowed for {path}", request.method),
+                },
+            )
+        }
+        (_, path) => {
+            shared.metrics.record_request(Endpoint::Other);
+            Response::json(
+                404,
+                &ErrorBody {
+                    error: format!("no such endpoint: {path}"),
+                },
+            )
+        }
+    }
+}
+
+fn handle_config(shared: &ServerShared) -> Response {
+    Response::json(
+        200,
+        &ConfigResponse {
+            addr: shared.addr.to_string(),
+            executor: shared.executor.name().to_string(),
+            executor_threads: shared.executor.max_threads(),
+            connection_workers: shared.config.connection_workers,
+            max_pending: shared.config.max_pending,
+            max_body_bytes: shared.config.max_body_bytes,
+            server_seed: shared.config.server_seed,
+            lppms: shared.template.lppm_names(),
+            compositions: shared.template.engine_for(0).compositions().len(),
+            attacks: shared.template.attack_count(),
+        },
+    )
+}
+
+/// Parses a JSON body (through the shim's `from_reader`), mapping
+/// failures to a 400.
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
+    serde_json::from_reader(body).map_err(|e| {
+        Response::json(
+            400,
+            &ErrorBody {
+                error: format!("invalid request body: {e}"),
+            },
+        )
+    })
+}
+
+fn handle_protect(shared: &ServerShared, body: &[u8]) -> Response {
+    let request: ProtectRequest = match parse_body(body) {
+        Ok(request) => request,
+        Err(resp) => return resp,
+    };
+    let seed = request_seed(shared.config.server_seed, request.request_id);
+    let engine = shared
+        .template
+        .engine_for_on(seed, Arc::clone(&shared.executor));
+    let outcome = engine.protect_user(&request.trace);
+    shared.metrics.add_users(1);
+    shared.metrics.add_scratch_reuses(engine.scratch_reuses());
+    Response::json(
+        200,
+        &ProtectResponse {
+            request_id: request.request_id,
+            seed,
+            result: ProtectResult::from_outcome(&outcome),
+        },
+    )
+}
+
+fn handle_batch(shared: &ServerShared, body: &[u8]) -> Response {
+    let request: BatchRequest = match parse_body(body) {
+        Ok(request) => request,
+        Err(resp) => return resp,
+    };
+    if request.traces.is_empty() {
+        return Response::json(
+            400,
+            &ErrorBody {
+                error: "empty batch: at least one trace required".to_string(),
+            },
+        );
+    }
+    let dataset = match Dataset::from_traces(request.traces) {
+        Ok(dataset) => dataset,
+        Err(e) => {
+            return Response::json(
+                400,
+                &ErrorBody {
+                    error: format!("invalid batch: {e}"),
+                },
+            )
+        }
+    };
+    let seed = request_seed(shared.config.server_seed, request.request_id);
+    let engine = shared
+        .template
+        .engine_for_on(seed, Arc::clone(&shared.executor));
+    let report = protect_stream(&engine, &dataset, shared.executor.as_ref(), |_outcome| {
+        shared.metrics.add_users(1);
+    });
+    shared.metrics.add_scratch_reuses(engine.scratch_reuses());
+    match report {
+        Ok(report) => Response::json(
+            200,
+            &BatchResponse::from_report(request.request_id, seed, &report),
+        ),
+        // Unreachable with the counting sink above, but the panic-safe
+        // contract of protect_stream maps to a 500, not a dead worker.
+        Err(e) => Response::json(
+            500,
+            &ErrorBody {
+                error: e.to_string(),
+            },
+        ),
+    }
+}

@@ -10,7 +10,8 @@
 //! * [`lppm`] — location privacy protection mechanisms;
 //! * [`attacks`] — re-identification attacks and suites;
 //! * [`synth`] — synthetic dataset generation;
-//! * [`engine`] — the MooD engine, executor layer and pipeline.
+//! * [`engine`] — the MooD engine, executor layer and pipeline;
+//! * [`serve`] — the long-running HTTP protection service.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,5 +22,6 @@ pub use mood_geo as geo;
 pub use mood_lppm as lppm;
 pub use mood_metrics as metrics;
 pub use mood_models as models;
+pub use mood_serve as serve;
 pub use mood_synth as synth;
 pub use mood_trace as trace;

@@ -154,7 +154,8 @@ fn streaming_and_batch_agree_under_parallelism() {
     let batch = protect_dataset(&engine, &test, 4);
     for kind in ExecutorKind::all() {
         let executor = kind.build(4);
-        let streamed = protect_stream(&engine, &test, executor.as_ref(), |_| {});
+        let streamed =
+            protect_stream(&engine, &test, executor.as_ref(), |_| {}).expect("sink does not panic");
         assert_eq!(streamed, batch, "{kind} stream diverged");
     }
 }

@@ -5,13 +5,50 @@
 //! so that the integer/float distinction survives a round-trip: floats
 //! always carry a decimal point or exponent (`1.0`, `3e300`), integers
 //! never do.
+//!
+//! Serialization streams through any [`std::io::Write`] sink
+//! ([`to_writer`] / [`to_writer_pretty`]); [`to_string`] is a thin
+//! wrapper over an in-memory buffer. [`from_reader`] is the matching
+//! input-side helper.
 
 #![forbid(unsafe_code)]
 
 pub use serde::Error;
 pub use serde::Value;
 
+use std::io::{Read, Write};
+
 use serde::{Deserialize, Serialize};
+
+/// Converts an I/O failure into the shim's error type.
+fn io_error(e: std::io::Error) -> Error {
+    Error::custom(format!("io error: {e}"))
+}
+
+/// Serializes `value` as compact JSON directly into `writer` — no
+/// intermediate `String`; the hot path for service responses.
+///
+/// # Errors
+///
+/// Returns an error when the value contains a non-finite float or the
+/// writer fails.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    write_value(&mut writer, &value.to_value(), None, 0)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent)
+/// directly into `writer`.
+///
+/// # Errors
+///
+/// Returns an error when the value contains a non-finite float or the
+/// writer fails.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    write_value(&mut writer, &value.to_value(), Some(2), 0)
+}
 
 /// Serializes `value` to a compact JSON string.
 ///
@@ -19,9 +56,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// Returns an error when the value contains a non-finite float.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None, 0)?;
-    Ok(out)
+    let mut out = Vec::new();
+    to_writer(&mut out, value)?;
+    Ok(String::from_utf8(out).expect("serializer emits UTF-8"))
 }
 
 /// Serializes `value` to pretty-printed JSON (two-space indent).
@@ -30,9 +67,23 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 ///
 /// Returns an error when the value contains a non-finite float.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
-    write_value(&mut out, &value.to_value(), Some(2), 0)?;
-    Ok(out)
+    let mut out = Vec::new();
+    to_writer_pretty(&mut out, value)?;
+    Ok(String::from_utf8(out).expect("serializer emits UTF-8"))
+}
+
+/// Parses a value of type `T` from a reader (drained to its end, since
+/// a complete-document check needs the whole input anyway).
+///
+/// # Errors
+///
+/// Returns an error when the reader fails, the bytes are not UTF-8, the
+/// JSON is malformed or its shape does not match `T`.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes).map_err(io_error)?;
+    let text = std::str::from_utf8(&bytes).map_err(|_| Error::custom("input is not UTF-8"))?;
+    from_str(text)
 }
 
 /// Parses a value of type `T` from JSON text.
@@ -62,93 +113,96 @@ pub fn parse_value_complete(input: &str) -> Result<Value, Error> {
     Ok(value)
 }
 
-fn write_value(
-    out: &mut String,
+fn write_value<W: Write>(
+    out: &mut W,
     value: &Value,
     indent: Option<usize>,
     level: usize,
 ) -> Result<(), Error> {
     match value {
-        Value::Null => out.push_str("null"),
-        Value::Bool(true) => out.push_str("true"),
-        Value::Bool(false) => out.push_str("false"),
-        Value::Int(i) => out.push_str(&i.to_string()),
-        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Null => out.write_all(b"null").map_err(io_error)?,
+        Value::Bool(true) => out.write_all(b"true").map_err(io_error)?,
+        Value::Bool(false) => out.write_all(b"false").map_err(io_error)?,
+        Value::Int(i) => write!(out, "{i}").map_err(io_error)?,
+        Value::UInt(u) => write!(out, "{u}").map_err(io_error)?,
         Value::Float(f) => {
             if !f.is_finite() {
                 return Err(Error::custom("cannot serialize non-finite float"));
             }
             // `{:?}` always keeps a `.0` or exponent, so the value parses
             // back as a float.
-            out.push_str(&format!("{f:?}"));
+            write!(out, "{f:?}").map_err(io_error)?;
         }
-        Value::Str(s) => write_string(out, s),
+        Value::Str(s) => write_string(out, s)?,
         Value::Array(items) => {
             if items.is_empty() {
-                out.push_str("[]");
-                return Ok(());
+                return out.write_all(b"[]").map_err(io_error);
             }
-            out.push('[');
+            out.write_all(b"[").map_err(io_error)?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",").map_err(io_error)?;
                 }
-                newline_indent(out, indent, level + 1);
+                newline_indent(out, indent, level + 1)?;
                 write_value(out, item, indent, level + 1)?;
             }
-            newline_indent(out, indent, level);
-            out.push(']');
+            newline_indent(out, indent, level)?;
+            out.write_all(b"]").map_err(io_error)?;
         }
         Value::Object(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
-                return Ok(());
+                return out.write_all(b"{}").map_err(io_error);
             }
-            out.push('{');
+            out.write_all(b"{").map_err(io_error)?;
             for (i, (key, item)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",").map_err(io_error)?;
                 }
-                newline_indent(out, indent, level + 1);
-                write_string(out, key);
-                out.push(':');
+                newline_indent(out, indent, level + 1)?;
+                write_string(out, key)?;
+                out.write_all(b":").map_err(io_error)?;
                 if indent.is_some() {
-                    out.push(' ');
+                    out.write_all(b" ").map_err(io_error)?;
                 }
                 write_value(out, item, indent, level + 1)?;
             }
-            newline_indent(out, indent, level);
-            out.push('}');
+            newline_indent(out, indent, level)?;
+            out.write_all(b"}").map_err(io_error)?;
         }
     }
     Ok(())
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+fn newline_indent<W: Write>(out: &mut W, indent: Option<usize>, level: usize) -> Result<(), Error> {
     if let Some(width) = indent {
-        out.push('\n');
+        out.write_all(b"\n").map_err(io_error)?;
         for _ in 0..width * level {
-            out.push(' ');
+            out.write_all(b" ").map_err(io_error)?;
         }
     }
+    Ok(())
 }
 
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
+fn write_string<W: Write>(out: &mut W, s: &str) -> Result<(), Error> {
+    out.write_all(b"\"").map_err(io_error)?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
+            '"' => out.write_all(b"\\\"").map_err(io_error)?,
+            '\\' => out.write_all(b"\\\\").map_err(io_error)?,
+            '\n' => out.write_all(b"\\n").map_err(io_error)?,
+            '\r' => out.write_all(b"\\r").map_err(io_error)?,
+            '\t' => out.write_all(b"\\t").map_err(io_error)?,
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                write!(out, "\\u{:04x}", c as u32).map_err(io_error)?;
             }
-            c => out.push(c),
+            c => {
+                let mut utf8 = [0u8; 4];
+                out.write_all(c.encode_utf8(&mut utf8).as_bytes())
+                    .map_err(io_error)?;
+            }
         }
     }
-    out.push('"');
+    out.write_all(b"\"").map_err(io_error)
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -244,6 +298,22 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
     *pos += 1;
     let mut out = String::new();
     loop {
+        // Bulk path: consume the run up to the next quote or escape in
+        // one UTF-8 validation instead of per character (quote and
+        // backslash are ASCII, so they never split a multi-byte
+        // scalar). Without this, large documents parse quadratically.
+        let run_start = *pos;
+        while let Some(&b) = bytes.get(*pos) {
+            if b == b'"' || b == b'\\' {
+                break;
+            }
+            *pos += 1;
+        }
+        if *pos > run_start {
+            let run = std::str::from_utf8(&bytes[run_start..*pos])
+                .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+            out.push_str(run);
+        }
         match bytes.get(*pos) {
             None => return Err(Error::custom("unterminated string")),
             Some(b'"') => {
@@ -279,14 +349,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 scalar.
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
-            }
+            Some(_) => unreachable!("bulk path consumes every non-quote, non-escape byte"),
         }
     }
 }
@@ -367,6 +430,55 @@ mod tests {
     fn rejects_non_finite() {
         assert!(to_string(&f64::NAN).is_err());
         assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn to_writer_matches_to_string() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![0.5f64, 1.5]);
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &m).unwrap();
+        assert_eq!(buf, to_string(&m).unwrap().into_bytes());
+        let mut pretty = Vec::new();
+        to_writer_pretty(&mut pretty, &m).unwrap();
+        assert_eq!(pretty, to_string_pretty(&m).unwrap().into_bytes());
+    }
+
+    #[test]
+    fn from_reader_roundtrips_and_rejects_bad_input() {
+        let v = vec![1i64, -2, 3];
+        let json = to_string(&v).unwrap();
+        let back: Vec<i64> = from_reader(json.as_bytes()).unwrap();
+        assert_eq!(back, v);
+        assert!(from_reader::<_, Vec<i64>>(&b"[1,"[..]).is_err());
+        assert!(from_reader::<_, String>(&[0xff, 0xfe][..]).is_err());
+    }
+
+    #[test]
+    fn to_writer_propagates_writer_failures() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink broke"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = to_writer(Failing, &1i64).unwrap_err();
+        assert!(err.to_string().contains("io error"), "{err}");
+    }
+
+    #[test]
+    fn from_reader_propagates_reader_failures() {
+        struct Failing;
+        impl std::io::Read for Failing {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("tap broke"))
+            }
+        }
+        let err = from_reader::<_, i64>(Failing).unwrap_err();
+        assert!(err.to_string().contains("io error"), "{err}");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use mood_geo::Grid;
 use mood_models::Heatmap;
 use mood_trace::{Dataset, Trace, UserId};
 
-use crate::{Attack, Prediction, TrainedAttack};
+use crate::{Attack, AttackScratch, Prediction, TrainedAttack};
 
 /// AP-Attack (Maouche et al. 2017, the paper's \[22\]): heatmap profiles
 /// over a uniform grid, compared with the Topsoe divergence.
@@ -105,6 +105,33 @@ impl TrainedAttack for TrainedApAttack {
             })
             .collect();
         Prediction::from_scores(scores)
+    }
+
+    /// Scratch path: the cell-sequence comes from the shared raster
+    /// cache, the heatmap is rebuilt into the worker's buffer, and
+    /// profile matching prunes with the running best Topsoe score
+    /// (Topsoe partial sums are monotone — see
+    /// `divergence::topsoe_sorted_bounded` — so exceeding the running
+    /// best proves the full score would too; verdict equivalence with
+    /// `predict` is [`crate::scratch::bounded_argmin`]'s contract).
+    fn reidentify_with(
+        &self,
+        trace: &Trace,
+        true_user: UserId,
+        scratch: &mut AttackScratch,
+    ) -> bool {
+        let AttackScratch {
+            raster, heatmap, ..
+        } = scratch;
+        let cells = raster.cells(&self.grid, trace);
+        heatmap.rebuild_from_cells(cells);
+        if heatmap.is_empty() {
+            return false; // predict abstains
+        }
+        let winner = crate::scratch::bounded_argmin(&self.profiles, |profile, bound| {
+            heatmap.topsoe_bounded(profile, bound.unwrap_or(f64::INFINITY))
+        });
+        winner == Some(true_user)
     }
 }
 

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use mood_exec::{for_each_index_with, Executor, SequentialExecutor};
 use mood_trace::{Dataset, Trace, UserId};
 
-use crate::{Attack, TrainedAttack};
+use crate::{Attack, AttackScratch, TrainedAttack};
 
 /// A set of trained attacks — the virtual adversary MooD defends against
 /// (paper §4.4 uses m = 3 attacks at once).
@@ -93,6 +93,39 @@ impl AttackSuite {
         self.first_reidentifying(trace, true_user).is_none()
     }
 
+    /// [`AttackSuite::first_reidentifying`] on a per-worker scratch
+    /// arena: every attack runs its scratch-aware inference
+    /// ([`TrainedAttack::reidentify_with`]), sharing the scratch's
+    /// rasterization cache and feature buffers. Same order, same
+    /// short-circuit, and — by the `reidentify_with` contract — exactly
+    /// the same verdict as the allocating form.
+    pub fn first_reidentifying_with(
+        &self,
+        trace: &Trace,
+        true_user: UserId,
+        scratch: &mut AttackScratch,
+    ) -> Option<&'static str> {
+        let verdict = self
+            .attacks
+            .iter()
+            .find(|a| a.reidentify_with(trace, true_user, scratch))
+            .map(|a| a.name());
+        scratch.mark_used();
+        verdict
+    }
+
+    /// [`AttackSuite::protects`] on a per-worker scratch arena — the
+    /// candidate hot path's verdict.
+    pub fn protects_with(
+        &self,
+        trace: &Trace,
+        true_user: UserId,
+        scratch: &mut AttackScratch,
+    ) -> bool {
+        self.first_reidentifying_with(trace, true_user, scratch)
+            .is_none()
+    }
+
     /// [`AttackSuite::protects`], with the attacks evaluated on
     /// concurrent scoped threads.
     ///
@@ -154,11 +187,14 @@ impl AttackSuite {
     /// [`DatasetEvaluation::non_protected_users`] — byte-identical to
     /// the sequential reference for every backend and thread count.
     pub fn evaluate_with(&self, dataset: &Dataset, executor: &dyn Executor) -> DatasetEvaluation {
-        /// One worker's private tallies: per-attack hit counts and
-        /// `(submission index, user, records)` of re-identified traces.
+        /// One worker's private tallies — per-attack hit counts and
+        /// `(submission index, user, records)` of re-identified traces —
+        /// plus its attack scratch, so per-trace features build into
+        /// reusable buffers across the whole evaluation.
         struct WorkerAcc {
             per_attack: Vec<usize>,
             hits: Vec<(usize, UserId, usize)>,
+            scratch: AttackScratch,
         }
 
         let traces: Vec<&Trace> = dataset.iter().collect();
@@ -173,12 +209,13 @@ impl AttackSuite {
             || WorkerAcc {
                 per_attack: vec![0; self.attacks.len()],
                 hits: Vec::with_capacity(worker_capacity),
+                scratch: AttackScratch::new(),
             },
             |acc, i| {
                 let trace = traces[i];
                 let mut hit = false;
                 for (k, a) in self.attacks.iter().enumerate() {
-                    if a.re_identifies(trace, trace.user()) {
+                    if a.reidentify_with(trace, trace.user(), &mut acc.scratch) {
                         acc.per_attack[k] += 1;
                         hit = true;
                     }
@@ -369,6 +406,65 @@ mod tests {
                 assert_eq!(eval.non_protected_users, reference.non_protected_users);
             }
         }
+    }
+
+    #[test]
+    fn scratch_verdicts_match_predict_verdicts_exactly() {
+        use crate::AttackScratch;
+        use mood_synth::presets;
+        let ds = presets::privamov_like().scaled(0.2).generate();
+        let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
+        let suite = full_suite(&train);
+        let users: Vec<UserId> = train.iter().map(|t| t.user()).collect();
+
+        // Raw traces, a jittered variant (standing in for an obfuscated
+        // candidate) and an abstention-inducing moving trace, all scored
+        // on ONE warm scratch: every verdict must equal the predict path.
+        let mut victims: Vec<Trace> = test.iter().cloned().collect();
+        for t in test.iter().take(3) {
+            let jittered: Vec<Record> = t
+                .records()
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let p = r.point();
+                    let d = if i % 2 == 0 { 0.004 } else { -0.004 };
+                    r.with_point(mood_geo::GeoPoint::new(p.lat() + d, p.lng() - d).unwrap())
+                })
+                .collect();
+            victims.push(Trace::new(t.user(), jittered).unwrap());
+        }
+        let moving: Vec<Record> = (0..40)
+            .map(|i| rec(45.9 + i as f64 * 0.01, 6.0, i * 600))
+            .collect();
+        victims.push(Trace::new(UserId::new(77), moving).unwrap());
+
+        let mut scratch = AttackScratch::new();
+        for trace in &victims {
+            for attack in suite.attacks() {
+                for &user in &users {
+                    assert_eq!(
+                        attack.reidentify_with(trace, user, &mut scratch),
+                        attack.re_identifies(trace, user),
+                        "{} diverged on trace of {} vs user {user}",
+                        attack.name(),
+                        trace.user(),
+                    );
+                }
+            }
+            assert_eq!(
+                suite.first_reidentifying_with(trace, trace.user(), &mut scratch),
+                suite.first_reidentifying(trace, trace.user()),
+            );
+        }
+        assert!(scratch.is_warm());
+        // whenever PIT scored a trace POI had already profiled, the
+        // shared extraction must have been reused, not recomputed
+        assert!(
+            scratch.profile_cache_hits() > 0,
+            "PIT never reused POI's stay extraction"
+        );
+        assert!(scratch.profile_cache_misses() > 0);
     }
 
     #[test]

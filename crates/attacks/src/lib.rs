@@ -51,12 +51,14 @@ mod evaluation;
 mod pit_attack;
 mod poi_attack;
 mod prediction;
+mod scratch;
 
 pub use ap_attack::ApAttack;
 pub use evaluation::{AttackSuite, DatasetEvaluation};
 pub use pit_attack::PitAttack;
 pub use poi_attack::PoiAttack;
 pub use prediction::Prediction;
+pub use scratch::AttackScratch;
 
 use mood_trace::{Dataset, Trace};
 
@@ -92,5 +94,27 @@ pub trait TrainedAttack: Send + Sync {
     /// (MooD knows the ground truth, paper §4.4.)
     fn re_identifies(&self, trace: &Trace, true_user: mood_trace::UserId) -> bool {
         self.predict(trace).predicted == Some(true_user)
+    }
+
+    /// Scratch-aware [`TrainedAttack::re_identifies`]: the verdict hot
+    /// path, building per-trace features into the caller's reusable
+    /// per-worker buffers instead of fresh allocations, and free to
+    /// prune profile matching with *exact* best-bound early exits.
+    ///
+    /// The contract is strict verdict equivalence: for every `(trace,
+    /// true_user)` this must return exactly what `re_identifies`
+    /// returns — the scratch changes how features are computed, never
+    /// what they evaluate to (see [`AttackScratch`] for the full
+    /// determinism obligations). The default implementation falls back
+    /// to `re_identifies`, so third-party attacks stay correct without
+    /// opting in.
+    fn reidentify_with(
+        &self,
+        trace: &Trace,
+        true_user: mood_trace::UserId,
+        scratch: &mut AttackScratch,
+    ) -> bool {
+        let _ = scratch;
+        self.re_identifies(trace, true_user)
     }
 }

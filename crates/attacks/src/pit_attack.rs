@@ -3,7 +3,7 @@ use std::collections::BTreeMap;
 use mood_models::{MarkovChain, PoiExtractor};
 use mood_trace::{Dataset, Trace, UserId};
 
-use crate::{Attack, Prediction, TrainedAttack};
+use crate::{Attack, AttackScratch, Prediction, TrainedAttack};
 
 /// PIT-Attack (Gambs et al. 2014, the paper's \[16\]): profiles are
 /// Mobility Markov Chains; chains are compared with the **stats-prox**
@@ -75,6 +75,9 @@ struct TrainedPitAttack {
     profiles: BTreeMap<UserId, MarkovChain>,
 }
 
+/// Reference form of the stationary term; the scoring path inlines it
+/// in [`stats_prox_bounded`] so pruning can check after each term.
+#[cfg(test)]
 fn stationary_distance(anon: &MarkovChain, cand: &MarkovChain) -> f64 {
     let pi = anon.stationary();
     let mut sum = 0.0;
@@ -107,10 +110,40 @@ fn proximity_distance(anon: &MarkovChain, cand: &MarkovChain, top_k: usize) -> f
 }
 
 fn stats_prox(anon: &MarkovChain, cand: &MarkovChain, top_k: usize) -> f64 {
+    stats_prox_bounded(anon, cand, top_k, None).expect("unbounded never prunes")
+}
+
+/// [`stats_prox`] with optional best-bound pruning on the stationary
+/// half: its terms (`π_i × nearest distance`) are non-negative, so the
+/// partial sum is monotone and `0.5 × partial` already exceeding `bound`
+/// proves the full stats-prox (which only adds the non-negative
+/// proximity half) would too — pruning is exact, and a returned score is
+/// bit-identical to the unbounded computation.
+fn stats_prox_bounded(
+    anon: &MarkovChain,
+    cand: &MarkovChain,
+    top_k: usize,
+    bound: Option<f64>,
+) -> Option<f64> {
     if cand.is_empty() {
-        return f64::INFINITY;
+        return Some(f64::INFINITY);
     }
-    0.5 * stationary_distance(anon, cand) + 0.5 * proximity_distance(anon, cand, top_k)
+    let pi = anon.stationary();
+    let mut sum = 0.0;
+    for (i, a_state) in anon.states().iter().enumerate() {
+        let nearest = cand
+            .states()
+            .iter()
+            .map(|c| a_state.centroid.approx_distance(&c.centroid))
+            .fold(f64::INFINITY, f64::min);
+        sum += pi[i] * nearest;
+        if let Some(b) = bound {
+            if 0.5 * sum > b {
+                return None;
+            }
+        }
+    }
+    Some(0.5 * sum + 0.5 * proximity_distance(anon, cand, top_k))
 }
 
 impl TrainedAttack for TrainedPitAttack {
@@ -130,6 +163,29 @@ impl TrainedAttack for TrainedPitAttack {
             .map(|(&user, cand)| (user, stats_prox(&anon, cand, self.top_k)))
             .collect();
         Prediction::from_scores(scores)
+    }
+
+    /// Scratch path: stays, the anonymous profile (via the shared
+    /// POI/PIT cache) and its Markov chain are rebuilt into the
+    /// worker's buffers, and the candidate scan prunes on the
+    /// stationary half (verdict equivalence with `predict` is
+    /// [`crate::scratch::bounded_argmin`]'s contract).
+    fn reidentify_with(
+        &self,
+        trace: &Trace,
+        true_user: UserId,
+        scratch: &mut AttackScratch,
+    ) -> bool {
+        let AttackScratch { poi, chain, .. } = scratch;
+        let profile = poi.profile_for(&self.extractor, trace);
+        chain.rebuild_from_profile(profile);
+        if chain.is_empty() {
+            return false; // predict abstains
+        }
+        let winner = crate::scratch::bounded_argmin(&self.profiles, |cand, bound| {
+            stats_prox_bounded(chain, cand, self.top_k, bound)
+        });
+        winner == Some(true_user)
     }
 }
 

@@ -3,7 +3,7 @@ use std::collections::BTreeMap;
 use mood_models::{PoiExtractor, PoiProfile};
 use mood_trace::{Dataset, Trace, UserId};
 
-use crate::{Attack, Prediction, TrainedAttack};
+use crate::{Attack, AttackScratch, Prediction, TrainedAttack};
 
 /// POI-Attack (Primault et al. 2014, the paper's \[27\]): profiles are POI
 /// sets; the similarity between an anonymous profile and a candidate is
@@ -64,10 +64,24 @@ struct TrainedPoiAttack {
 /// Weighted mean distance from each POI of `anon` to the nearest POI of
 /// `candidate`; infinite when the candidate has no POIs.
 fn profile_distance(anon: &PoiProfile, candidate: &PoiProfile) -> f64 {
-    if candidate.is_empty() {
-        return f64::INFINITY;
-    }
     let weights = anon.weights();
+    profile_distance_bounded(anon, &weights, candidate, None).expect("unbounded never prunes")
+}
+
+/// [`profile_distance`] with optional best-bound pruning: returns `None`
+/// as soon as the partial sum exceeds `bound`. Terms (`weight × nearest
+/// distance`) are non-negative, so partial sums are monotone and pruning
+/// is exact: a pruned candidate's full score provably exceeds the bound.
+/// A returned score is bit-identical to the unbounded walk.
+fn profile_distance_bounded(
+    anon: &PoiProfile,
+    weights: &[f64],
+    candidate: &PoiProfile,
+    bound: Option<f64>,
+) -> Option<f64> {
+    if candidate.is_empty() {
+        return Some(f64::INFINITY);
+    }
     let mut sum = 0.0;
     for (poi, w) in anon.pois().iter().zip(weights.iter()) {
         let nearest = candidate
@@ -76,8 +90,13 @@ fn profile_distance(anon: &PoiProfile, candidate: &PoiProfile) -> f64 {
             .map(|c| poi.centroid.approx_distance(&c.centroid))
             .fold(f64::INFINITY, f64::min);
         sum += w * nearest;
+        if let Some(b) = bound {
+            if sum > b {
+                return None;
+            }
+        }
     }
-    sum
+    Some(sum)
 }
 
 impl TrainedAttack for TrainedPoiAttack {
@@ -96,6 +115,29 @@ impl TrainedAttack for TrainedPoiAttack {
             .map(|(&user, profile)| (user, profile_distance(&anon, profile)))
             .collect();
         Prediction::from_scores(scores)
+    }
+
+    /// Scratch path: stays, the anonymous profile and its weights come
+    /// from the worker's buffers (the profile via the shared POI/PIT
+    /// cache), and candidate matching prunes with the running best
+    /// distance (verdict equivalence with `predict` is
+    /// [`crate::scratch::bounded_argmin`]'s contract).
+    fn reidentify_with(
+        &self,
+        trace: &Trace,
+        true_user: UserId,
+        scratch: &mut AttackScratch,
+    ) -> bool {
+        let AttackScratch { poi, weights, .. } = scratch;
+        let profile = poi.profile_for(&self.extractor, trace);
+        if profile.is_empty() {
+            return false; // predict abstains
+        }
+        profile.weights_into(weights);
+        let winner = crate::scratch::bounded_argmin(&self.profiles, |candidate, bound| {
+            profile_distance_bounded(profile, weights, candidate, bound)
+        });
+        winner == Some(true_user)
     }
 }
 

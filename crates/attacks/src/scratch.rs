@@ -1,0 +1,169 @@
+//! Per-worker scratch state for attack inference — the allocation-free
+//! counterpart of [`crate::TrainedAttack::predict`].
+//!
+//! Candidate search scores every LPPM candidate against the full attack
+//! suite (K × m inference calls per user), and each call re-derives the
+//! same kind of per-trace features: a heatmap for AP-Attack, POI
+//! clusters for POI-Attack, a Mobility Markov Chain for PIT-Attack.
+//! [`AttackScratch`] owns one reusable buffer per feature so a worker
+//! builds them in place instead of allocating per candidate, plus a
+//! shared [`TraceRaster`] so a trace's grid cell-sequence is computed
+//! once and reused by every grid-based consumer (AP-Attack today, HMC's
+//! `protect_into` fast path upstream, future grid attacks).
+//!
+//! # Contract (for attack implementors)
+//!
+//! * **Per-worker exclusivity** — a scratch is handed `&mut` to exactly
+//!   one worker at a time (the executor's worker-slot guarantee); it is
+//!   never shared concurrently and needs no synchronization.
+//! * **Determinism** — `reidentify_with` must return exactly what
+//!   `re_identifies` would: the scratch may change *how* features are
+//!   computed (buffer reuse, pruning with exact bounds, verified
+//!   caches), never *what* they evaluate to. Every backend × thread
+//!   count must stay byte-identical to the sequential reference.
+//! * **No carry-over semantics** — contents are an optimization only; a
+//!   fresh scratch must produce the same verdicts as a warm one.
+
+use std::collections::BTreeMap;
+
+use mood_models::{MarkovChain, PoiExtractor, PoiProfile, Stay, TraceRaster};
+use mood_trace::{Record, Trace, UserId};
+
+/// The pruned profile-matching scan shared by every native
+/// `reidentify_with`: walks `profiles` in ascending-user order, scoring
+/// each via `score(profile, running_best)` — a callback that may return
+/// `None` to signal "provably above the bound" (exact pruning) — and
+/// returns the winner.
+///
+/// **Verdict equivalence with `Prediction::from_scores`** (proven here
+/// once, relied on by all three attacks): `from_scores` sorts by
+/// `(distance, user)` and picks the first finite entry, i.e. the
+/// minimal finite distance with ties broken by the smallest user. This
+/// scan visits users in ascending order (`BTreeMap` iteration) and
+/// replaces the best only on a **strictly** smaller score, so an equal
+/// later score keeps the earlier (smaller) user — the same tiebreak —
+/// and non-finite scores are skipped just as `from_scores` never
+/// selects them. Pruned profiles (`score` returned `None` under a
+/// bound) provably exceed the running best, so they could never win.
+/// Keep the strict `<`: relaxing it to `<=` silently breaks parity.
+pub(crate) fn bounded_argmin<P>(
+    profiles: &BTreeMap<UserId, P>,
+    mut score: impl FnMut(&P, Option<f64>) -> Option<f64>,
+) -> Option<UserId> {
+    let mut best: Option<(UserId, f64)> = None;
+    for (&user, profile) in profiles {
+        if let Some(d) = score(profile, best.map(|(_, b)| b)) {
+            if d.is_finite() && best.is_none_or(|(_, b)| d < b) {
+                best = Some((user, d));
+            }
+        }
+    }
+    best.map(|(user, _)| user)
+}
+
+/// A one-entry **verified** `(extractor, trace) → POI profile` cache:
+/// POI-Attack and PIT-Attack run back to back on the same trace with
+/// the same paper-default extractor, and stay extraction — a distance
+/// computation per record — dominates both. Like [`TraceRaster`], a hit
+/// is only taken after comparing the stored trace records exactly
+/// (plus the extractor parameters), so cached and fresh inference are
+/// bit-identical; the comparison costs three `f64` equality checks per
+/// record versus extraction's centroid/distance arithmetic.
+#[derive(Default)]
+pub(crate) struct ProfileCache {
+    extractor: Option<PoiExtractor>,
+    user: Option<UserId>,
+    records: Vec<Record>,
+    pub(crate) stays: Vec<Stay>,
+    pub(crate) profile: PoiProfile,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProfileCache {
+    /// The POI profile of `trace` under `extractor`: served from the
+    /// cached entry when it matches exactly, re-extracted into the
+    /// reusable buffers otherwise.
+    pub(crate) fn profile_for(&mut self, extractor: &PoiExtractor, trace: &Trace) -> &PoiProfile {
+        if self.extractor.as_ref() == Some(extractor)
+            && self.user == Some(trace.user())
+            && self.records.as_slice() == trace.records()
+        {
+            self.hits += 1;
+            return &self.profile;
+        }
+        self.misses += 1;
+        self.extractor = Some(*extractor);
+        self.user = Some(trace.user());
+        self.records.clear();
+        self.records.extend_from_slice(trace.records());
+        extractor.extract_stays_into(trace, &mut self.stays);
+        self.profile
+            .rebuild_from_stays(&self.stays, extractor.diameter_m());
+        &self.profile
+    }
+}
+
+/// Reusable per-worker buffers for scratch-aware attack inference.
+///
+/// Constructed empty ([`AttackScratch::new`]) and warmed up by the first
+/// inference call; engines recycle scratches across candidates, batches
+/// and users via their scratch pools.
+#[derive(Default)]
+pub struct AttackScratch {
+    /// Shared `(grid, trace) → cells` cache (exact, verified hits).
+    pub(crate) raster: TraceRaster,
+    /// AP-Attack's anonymous-trace heatmap buffer.
+    pub(crate) heatmap: mood_models::Heatmap,
+    /// Shared POI/PIT stay-extraction + profile cache.
+    pub(crate) poi: ProfileCache,
+    /// POI-Attack's profile-weight buffer.
+    pub(crate) weights: Vec<f64>,
+    /// PIT-Attack's Markov-chain buffer.
+    pub(crate) chain: MarkovChain,
+    /// Whether any inference ran on this scratch yet (the engine's
+    /// `attack_scratch_reuses` observable counts warm starts).
+    used: bool,
+}
+
+impl AttackScratch {
+    /// A fresh, cold scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared rasterization cache, for callers that want to pre-warm
+    /// it (e.g. an LPPM's `protect_into_with` rasterizing the same trace
+    /// the suite scores next).
+    pub fn raster_mut(&mut self) -> &mut TraceRaster {
+        &mut self.raster
+    }
+
+    /// `true` once at least one inference call used this scratch — i.e.
+    /// the next call starts from warmed-up buffers.
+    pub fn is_warm(&self) -> bool {
+        self.used
+    }
+
+    /// Marks the scratch as used (called by the suite after inference).
+    pub(crate) fn mark_used(&mut self) {
+        self.used = true;
+    }
+
+    /// Drains the rasterization-cache hit/miss counters for aggregation
+    /// into shared metrics; returns `(hits, misses)`.
+    pub fn take_raster_counters(&mut self) -> (u64, u64) {
+        self.raster.take_counters()
+    }
+
+    /// POI-profile-cache hits so far (PIT reusing POI's extraction of
+    /// the same trace, verified exactly).
+    pub fn profile_cache_hits(&self) -> u64 {
+        self.poi.hits
+    }
+
+    /// POI-profile-cache misses so far (fresh extractions).
+    pub fn profile_cache_misses(&self) -> u64 {
+        self.poi.misses
+    }
+}

@@ -13,8 +13,8 @@
 //!   `exp_serve_latency` first).
 
 use mood_bench::perf::{
-    delta_report, read_json, write_json, BenchBaseline, BASELINE_PATH, EVAL_THROUGHPUT_PATH,
-    SERVE_LATENCY_PATH, THROUGHPUT_PATH,
+    delta_report, read_json, write_json, BenchBaseline, BASELINE_PATH, CANDIDATE_SCORING_PATH,
+    EVAL_THROUGHPUT_PATH, SERVE_LATENCY_PATH, THROUGHPUT_PATH,
 };
 
 fn main() {
@@ -23,17 +23,20 @@ fn main() {
         throughput: read_json(THROUGHPUT_PATH),
         eval_throughput: read_json(EVAL_THROUGHPUT_PATH),
         serve_latency: read_json(SERVE_LATENCY_PATH),
+        candidate_scoring: read_json(CANDIDATE_SCORING_PATH),
     };
 
     if record {
         if current.throughput.is_none()
             && current.eval_throughput.is_none()
             && current.serve_latency.is_none()
+            && current.candidate_scoring.is_none()
         {
             eprintln!(
                 "nothing to record: run exp_throughput / exp_eval_throughput / \
-                 exp_serve_latency first (expected {THROUGHPUT_PATH}, \
-                 {EVAL_THROUGHPUT_PATH} and {SERVE_LATENCY_PATH})"
+                 exp_serve_latency / exp_candidate_scoring first (expected \
+                 {THROUGHPUT_PATH}, {EVAL_THROUGHPUT_PATH}, {SERVE_LATENCY_PATH} \
+                 and {CANDIDATE_SCORING_PATH})"
             );
             return;
         }
@@ -49,7 +52,10 @@ fn main() {
                 .or_else(|| previous.as_ref().and_then(|p| p.eval_throughput.clone())),
             serve_latency: current
                 .serve_latency
-                .or_else(|| previous.and_then(|p| p.serve_latency)),
+                .or_else(|| previous.as_ref().and_then(|p| p.serve_latency.clone())),
+            candidate_scoring: current
+                .candidate_scoring
+                .or_else(|| previous.and_then(|p| p.candidate_scoring)),
         };
         write_json(BASELINE_PATH, &merged).expect("write baseline");
         println!("recorded baseline -> {BASELINE_PATH}");

@@ -1,0 +1,145 @@
+//! Candidate-scoring throughput: candidates/second through the attack
+//! suite's verdict path — the K×m inner loop of MooD's composition
+//! search — measured with and without the scratch arena.
+//!
+//! Two modes score the identical candidate pool (raw test traces plus
+//! one obfuscated variant per base LPPM, the shapes the engine actually
+//! scores):
+//!
+//! * `predict` — `AttackSuite::first_reidentifying`, the allocating
+//!   reference path (fresh heatmaps/POI clusters/Markov chains per
+//!   call, full profile scans): the pre-scratch baseline;
+//! * `scratch` — `AttackSuite::first_reidentifying_with` on one warm
+//!   [`AttackScratch`]: per-worker feature buffers, shared rasterization
+//!   cache, best-bound-pruned profile matching.
+//!
+//! Every pass asserts the two modes' verdicts are identical before
+//! timing counts, so this doubles as a determinism gate for the scratch
+//! path.
+//!
+//! Usage: `cargo run --release -p mood-bench --bin exp_candidate_scoring
+//!         [--scale X]`
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mood_attacks::AttackScratch;
+use mood_bench::perf::{CandidateScoringReport, CandidateScoringRow, CANDIDATE_SCORING_PATH};
+use mood_bench::{cli_options, ExperimentContext};
+use mood_synth::presets;
+use mood_trace::Trace;
+
+fn main() {
+    let (scale, _threads) = cli_options();
+    println!("=== candidate-scoring throughput (mdc-like/600s, scale {scale}) ===");
+    // Candidate scoring is *matching*-bound in the serving regime: many
+    // known users (profiles to scan per verdict) and moderate traces.
+    // The stock presets at small scales invert that shape (a handful of
+    // users with ~10k-record traces, where feature extraction drowns
+    // out matching), so this bench takes the largest resident
+    // population (mdc-like, 141 users at scale 1.0 — `--scale`
+    // multiplies the user count) on a coarser 600 s sampling grid,
+    // keeping traces around 1.5k records.
+    let mut spec = presets::mdc_like();
+    spec.sampling_interval_s = 600;
+    let ctx = ExperimentContext::load(&spec, scale);
+    let suite = &ctx.suite_all;
+
+    // The candidate pool: raw traces + one protected variant per base
+    // LPPM per user, under a fixed per-variant RNG derivation.
+    let mut candidates: Vec<Trace> = ctx.test.iter().cloned().collect();
+    for (v, lppm) in ctx.lppms().iter().enumerate() {
+        for trace in ctx.test.iter() {
+            let mut rng = StdRng::seed_from_u64(
+                0xC0DE ^ (v as u64) << 32 ^ trace.user().as_u64().wrapping_mul(0x9e37_79b9),
+            );
+            candidates.push(lppm.protect(trace, &mut rng));
+        }
+    }
+    let records: usize = candidates.iter().map(Trace::len).sum();
+    println!(
+        "{} candidates / {records} records, {} attacks\n",
+        candidates.len(),
+        suite.len()
+    );
+
+    // Verdict parity gate: both paths must agree on every candidate.
+    let mut scratch = AttackScratch::new();
+    let reference: Vec<Option<&str>> = candidates
+        .iter()
+        .map(|c| suite.first_reidentifying(c, c.user()))
+        .collect();
+    for (c, expected) in candidates.iter().zip(&reference) {
+        let got = suite.first_reidentifying_with(c, c.user(), &mut scratch);
+        assert_eq!(&got, expected, "scratch verdict diverged on {}", c.user());
+    }
+    println!(
+        "parity pass OK; POI-profile cache: {} hits / {} misses\n",
+        scratch.profile_cache_hits(),
+        scratch.profile_cache_misses()
+    );
+
+    const MIN_ELAPSED_S: f64 = 1.0;
+    const MIN_ITERS: u32 = 3;
+    let mut rows: Vec<CandidateScoringRow> = Vec::new();
+    let mut predict_wall = None;
+    for mode in ["predict", "scratch"] {
+        let start = Instant::now();
+        let mut iters = 0u32;
+        loop {
+            let mut verdicts = 0usize;
+            match mode {
+                "predict" => {
+                    for c in &candidates {
+                        verdicts += usize::from(suite.first_reidentifying(c, c.user()).is_some());
+                    }
+                }
+                _ => {
+                    for c in &candidates {
+                        verdicts += usize::from(
+                            suite
+                                .first_reidentifying_with(c, c.user(), &mut scratch)
+                                .is_some(),
+                        );
+                    }
+                }
+            }
+            let expected = reference.iter().filter(|v| v.is_some()).count();
+            assert_eq!(verdicts, expected, "verdicts drifted in mode {mode}");
+            iters += 1;
+            if start.elapsed().as_secs_f64() >= MIN_ELAPSED_S && iters >= MIN_ITERS {
+                break;
+            }
+        }
+        let wall = start.elapsed().as_secs_f64() / f64::from(iters);
+        if mode == "predict" {
+            predict_wall = Some(wall);
+        }
+        let speedup = predict_wall.map_or(1.0, |p| p / wall);
+        println!(
+            "{mode:<8}  {wall:>8.3} s/pass   {:>10.1} candidates/s   {speedup:>5.2}x vs predict",
+            candidates.len() as f64 / wall,
+        );
+        rows.push(CandidateScoringRow {
+            mode: mode.to_string(),
+            candidates: candidates.len(),
+            records,
+            wall_s: wall,
+            candidates_per_s: candidates.len() as f64 / wall,
+            speedup_vs_predict: speedup,
+        });
+    }
+
+    let doc = CandidateScoringReport {
+        dataset: ctx.spec.name.clone(),
+        scale_note: format!("mdc-like @600s scaled by {scale}"),
+        rows,
+    };
+    mood_bench::perf::write_json(CANDIDATE_SCORING_PATH, &doc).expect("write scoring results");
+    println!(
+        "\n{}",
+        serde_json::to_string_pretty(&doc).expect("serializable rows")
+    );
+}

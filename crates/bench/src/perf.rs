@@ -19,6 +19,8 @@ pub const THROUGHPUT_PATH: &str = "results/throughput.json";
 pub const EVAL_THROUGHPUT_PATH: &str = "results/eval_throughput.json";
 /// Where `exp_serve_latency` writes its fresh results.
 pub const SERVE_LATENCY_PATH: &str = "results/serve_latency.json";
+/// Where `exp_candidate_scoring` writes its fresh results.
+pub const CANDIDATE_SCORING_PATH: &str = "results/candidate_scoring.json";
 
 /// One measured batch-protection configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -116,6 +118,38 @@ pub struct ServeLatencyReport {
     pub rows: Vec<ServeLatencyRow>,
 }
 
+/// One measured candidate-scoring mode (`exp_candidate_scoring`):
+/// attack-suite verdicts per second through `first_reidentifying`
+/// (allocating `predict` path) vs. `first_reidentifying_with`
+/// (scratch-arena path with pruned profile matching).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateScoringRow {
+    /// Scoring mode (`predict` = the pre-scratch reference path,
+    /// `scratch` = per-worker arenas + best-bound pruning).
+    pub mode: String,
+    /// Candidate traces scored per pass.
+    pub candidates: usize,
+    /// Records covered per pass.
+    pub records: usize,
+    /// Wall-clock seconds per pass (averaged over iterations).
+    pub wall_s: f64,
+    /// Candidates per second — the headline rate `bench_delta` compares.
+    pub candidates_per_s: f64,
+    /// Speedup relative to the `predict` row of the same document.
+    pub speedup_vs_predict: f64,
+}
+
+/// The document `exp_candidate_scoring` emits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateScoringReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Human note about the scale factor.
+    pub scale_note: String,
+    /// One row per measured mode.
+    pub rows: Vec<CandidateScoringRow>,
+}
+
 /// The combined baseline document (`BENCH_throughput.json`): every
 /// benchmark report, any of which may be absent.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -126,6 +160,8 @@ pub struct BenchBaseline {
     pub eval_throughput: Option<EvalThroughputReport>,
     /// HTTP serve latency at recording time.
     pub serve_latency: Option<ServeLatencyReport>,
+    /// Candidate-scoring throughput at recording time.
+    pub candidate_scoring: Option<CandidateScoringReport>,
 }
 
 /// Reads and parses a JSON document, `None` when the file is missing or
@@ -227,6 +263,20 @@ pub fn delta_report(baseline: &BenchBaseline, current: &BenchBaseline) -> Vec<St
         current.serve_latency.as_ref().map(|r| r.rows.as_slice()),
         |r| (r.endpoint.as_str(), r.concurrency, r.requests_per_s),
     );
+    section_report(
+        &mut out,
+        "candidate scoring",
+        "cand/s",
+        baseline
+            .candidate_scoring
+            .as_ref()
+            .map(|r| (r.rows.as_slice(), r.scale_note.as_str())),
+        current
+            .candidate_scoring
+            .as_ref()
+            .map(|r| r.rows.as_slice()),
+        |r| (r.mode.as_str(), 1, r.candidates_per_s),
+    );
     out
 }
 
@@ -256,6 +306,7 @@ mod tests {
             }),
             eval_throughput: None,
             serve_latency: None,
+            candidate_scoring: None,
         }
     }
 

@@ -4,7 +4,7 @@ use std::sync::{Arc, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use mood_attacks::{ApAttack, Attack, AttackSuite, PitAttack, PoiAttack};
+use mood_attacks::{ApAttack, Attack, AttackScratch, AttackSuite, PitAttack, PoiAttack};
 use mood_lppm::{enumerate_compositions, Composition, GeoI, Hmc, Lppm, Trl};
 use mood_metrics::spatio_temporal_distortion;
 use mood_trace::{Dataset, Record, Trace};
@@ -15,11 +15,15 @@ use crate::{
 };
 
 /// Reusable per-worker state for one candidate evaluation: the derived
-/// RNG (stack-only, reassigned per candidate) and the protected-records
-/// buffer the LPPM writes into.
+/// RNG (stack-only, reassigned per candidate), the protected-records
+/// buffer the LPPM writes into, and the attack scratch the suite scores
+/// on — per-trace features (heatmap, POI clusters, Markov chain) plus
+/// the shared rasterization cache both the LPPM fast paths and the
+/// attacks use.
 struct CandidateScratch {
     rng: StdRng,
     records: Vec<Record>,
+    attack: AttackScratch,
 }
 
 impl CandidateScratch {
@@ -27,6 +31,7 @@ impl CandidateScratch {
         Self {
             rng: StdRng::seed_from_u64(0),
             records: Vec::new(),
+            attack: AttackScratch::new(),
         }
     }
 }
@@ -38,13 +43,18 @@ impl CandidateScratch {
 /// one batch; this pool is what carries the warmed-up buffers *across*
 /// batches (and across users, when many pipeline workers drive the same
 /// engine). Peak pool size is bounded by the peak number of concurrent
-/// workers touching the engine. The reuse counter is the observable
-/// half of the zero-allocation claim: it counts candidate evaluations
-/// that started from an already-warm buffer instead of a fresh
-/// allocation.
+/// workers touching the engine. The reuse counters are the observable
+/// half of the zero-allocation claim: they count candidate evaluations
+/// that started from an already-warm protection buffer
+/// (`reuses`) / attack scratch (`attack_reuses`) instead of fresh
+/// allocations; the raster counters aggregate the rasterization-cache
+/// hits and misses drained from returning leases.
 struct ScratchPool {
     free: Mutex<Vec<CandidateScratch>>,
     reuses: AtomicU64,
+    attack_reuses: AtomicU64,
+    raster_hits: AtomicU64,
+    raster_misses: AtomicU64,
 }
 
 impl ScratchPool {
@@ -52,6 +62,9 @@ impl ScratchPool {
         Self {
             free: Mutex::new(Vec::new()),
             reuses: AtomicU64::new(0),
+            attack_reuses: AtomicU64::new(0),
+            raster_hits: AtomicU64::new(0),
+            raster_misses: AtomicU64::new(0),
         }
     }
 
@@ -82,7 +95,12 @@ impl ScratchLease<'_> {
 
 impl Drop for ScratchLease<'_> {
     fn drop(&mut self) {
-        if let Some(scratch) = self.scratch.take() {
+        if let Some(mut scratch) = self.scratch.take() {
+            // Surface the worker-local raster-cache counters before the
+            // scratch goes back to sleep in the pool.
+            let (hits, misses) = scratch.attack.take_raster_counters();
+            self.pool.raster_hits.fetch_add(hits, Ordering::Relaxed);
+            self.pool.raster_misses.fetch_add(misses, Ordering::Relaxed);
             self.pool
                 .free
                 .lock()
@@ -401,6 +419,30 @@ impl MoodEngine {
         self.scratch.reuses.load(Ordering::Relaxed)
     }
 
+    /// How many candidate evaluations scored the attack suite on an
+    /// already warmed-up [`AttackScratch`] — the attack-side counterpart
+    /// of [`MoodEngine::scratch_reuses`]: per-trace features (heatmaps,
+    /// POI clusters, Markov chains) built into recycled per-worker
+    /// buffers instead of fresh allocations.
+    pub fn attack_scratch_reuses(&self) -> u64 {
+        self.scratch.attack_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Rasterization-cache hits across all attack scratches: trace
+    /// cell-sequences served from the per-worker `(grid, trace)` cache
+    /// (exact, comparison-verified) instead of recomputed. Counters are
+    /// drained from scratches as leases return to the pool, so in-flight
+    /// work surfaces at the next candidate-batch boundary.
+    pub fn raster_cache_hits(&self) -> u64 {
+        self.scratch.raster_hits.load(Ordering::Relaxed)
+    }
+
+    /// Rasterization-cache misses (fresh rasterizations), same
+    /// accounting as [`MoodEngine::raster_cache_hits`].
+    pub fn raster_cache_misses(&self) -> u64 {
+        self.scratch.raster_misses.load(Ordering::Relaxed)
+    }
+
     /// The enumerated composition space `C − L` (length ≥ 2 chains).
     pub fn compositions(&self) -> &[Composition] {
         &self.compositions
@@ -435,8 +477,11 @@ impl MoodEngine {
     /// Evaluates one candidate job on a scratch arena: applies the
     /// variant under its derived RNG stream — writing the protected
     /// records into the scratch buffer instead of a fresh allocation —
-    /// and judges it against the attack suite. Rejected candidates hand
-    /// their buffer back to the scratch for the next candidate; only a
+    /// and judges it against the attack suite on the scratch's attack
+    /// arena (features rebuilt into per-worker buffers, profile matching
+    /// pruned by the running best, rasterizations shared between the
+    /// LPPM fast paths and the attacks). Rejected candidates hand their
+    /// buffer back to the scratch for the next candidate; only a
     /// resilient candidate (the rare case) keeps its buffer, inside the
     /// returned [`ProtectedTrace`].
     fn evaluate_candidate(
@@ -450,13 +495,24 @@ impl MoodEngine {
         if buf.capacity() > 0 {
             self.scratch.reuses.fetch_add(1, Ordering::Relaxed);
         }
-        job.lppm.protect_into(trace, &mut scratch.rng, &mut buf);
-        // `protect_into` yields time-sorted records (the `Trace`
+        if scratch.attack.is_warm() {
+            self.scratch.attack_reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        job.lppm.protect_into_with(
+            trace,
+            &mut scratch.rng,
+            &mut buf,
+            scratch.attack.raster_mut(),
+        );
+        // `protect_into_with` yields time-sorted records (the `Trace`
         // invariant of `protect`'s output), so this re-sort is a
         // stable identity pass: the candidate is byte-identical to
         // what `protect` would have returned.
         let candidate = Trace::new(trace.user(), buf).expect("LPPMs never produce an empty trace");
-        if !self.suite.protects(&candidate, trace.user()) {
+        if !self
+            .suite
+            .protects_with(&candidate, trace.user(), &mut scratch.attack)
+        {
             scratch.records = candidate.into_records();
             return None;
         }
@@ -593,11 +649,17 @@ impl MoodEngine {
     pub fn protect_user(&self, trace: &Trace) -> UserProtection {
         // The raw-trace check runs the attacks concurrently when the
         // executor has threads to spare; the verdict is the same either
-        // way (a union over attacks), so determinism is unaffected.
+        // way (a union over attacks and strict scratch/plain verdict
+        // equivalence), so determinism is unaffected. The sequential
+        // variant scores on a pooled scratch, which also pre-warms the
+        // rasterization cache for the raw trace the HMC-first candidate
+        // variants are about to re-raster.
         let naturally_protected = if self.executor.max_threads() > 1 {
             self.suite.protects_concurrent(trace, trace.user())
         } else {
-            self.suite.protects(trace, trace.user())
+            let mut lease = self.scratch.take();
+            self.suite
+                .protects_with(trace, trace.user(), &mut lease.scratch_mut().attack)
         };
 
         if let Some((protected, via_composition)) = self.search_whole(trace) {
@@ -988,6 +1050,31 @@ mod tests {
         );
         // Reuse must not change results (byte-identical determinism).
         assert_eq!(engine.protect_user(trace), engine.protect_user(trace));
+    }
+
+    #[test]
+    fn attack_scratch_is_reused_and_rasterizations_are_shared() {
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        for trace in test.iter() {
+            let _ = engine.protect_user(trace);
+        }
+        // Multi-candidate scoring must run on warmed attack arenas...
+        assert!(
+            engine.attack_scratch_reuses() > 0,
+            "candidate scoring never reused a warm attack scratch"
+        );
+        // ...and the shared raster cache must have served repeats: the
+        // raw trace is rasterized by the suite's AP profile and again by
+        // every HMC-first candidate variant.
+        assert!(
+            engine.raster_cache_misses() > 0,
+            "raster cache never populated"
+        );
+        assert!(
+            engine.raster_cache_hits() > 0,
+            "raster cache never hit: raw-trace rasterizations not shared"
+        );
     }
 
     #[test]

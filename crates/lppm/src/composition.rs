@@ -2,6 +2,7 @@ use std::sync::Arc;
 
 use rand::RngCore;
 
+use mood_models::TraceRaster;
 use mood_trace::{Record, Trace};
 
 use crate::Lppm;
@@ -85,6 +86,33 @@ impl Lppm for Composition {
         current
     }
 
+    /// Chained [`Lppm::protect_into`]. Like every implementation of the
+    /// trait method, `out` is **cleared, then filled** — stale contents
+    /// of a recycled buffer never leak into (or get appended to) the
+    /// protected output, whichever mechanism runs last in the chain.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use mood_lppm::{Composition, GeoI, Lppm, Trl};
+    /// use mood_synth::presets;
+    /// use rand::SeedableRng;
+    ///
+    /// let chain = Composition::new(vec![
+    ///     Arc::new(GeoI::paper_default()) as Arc<dyn Lppm>,
+    ///     Arc::new(Trl::paper_default()),
+    /// ]);
+    /// let ds = presets::privamov_like().scaled(0.1).generate();
+    /// let trace = ds.iter().next().unwrap();
+    ///
+    /// let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
+    /// let expected = chain.protect(trace, &mut r1).into_records();
+    ///
+    /// // a dirty recycled buffer is replaced, not appended to
+    /// let mut out = vec![expected[0]; 7];
+    /// let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
+    /// chain.protect_into(trace, &mut r2, &mut out);
+    /// assert_eq!(out, expected);
+    /// ```
     fn protect_into(&self, trace: &Trace, rng: &mut dyn RngCore, out: &mut Vec<Record>) {
         // Intermediate stages still build owned traces (each part needs
         // a `&Trace` input), but the final — typically largest — stage
@@ -98,6 +126,36 @@ impl Lppm for Composition {
             current = Some(part.protect(current.as_ref().unwrap_or(trace), rng));
         }
         last.protect_into(current.as_ref().unwrap_or(trace), rng, out);
+    }
+
+    /// Chained fast path: the shared rasterization cache is threaded
+    /// through **every** stage, so an HMC anywhere in the chain shares
+    /// rasterizations with the attack side (HMC-first chains re-raster
+    /// the raw trace the suite already scored).
+    fn protect_into_with(
+        &self,
+        trace: &Trace,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<Record>,
+        raster: &mut TraceRaster,
+    ) {
+        let (last, init) = self
+            .parts
+            .split_last()
+            .expect("compositions are never empty");
+        let mut current: Option<Trace> = None;
+        let mut buf = Vec::new();
+        for part in init {
+            let input = current.as_ref().unwrap_or(trace);
+            part.protect_into_with(input, rng, &mut buf, raster);
+            // protect_into yields exactly protect's records (time-sorted),
+            // so rebuilding the trace is an identity pass
+            current = Some(
+                Trace::new(input.user(), std::mem::take(&mut buf))
+                    .expect("LPPMs never produce an empty trace"),
+            );
+        }
+        last.protect_into_with(current.as_ref().unwrap_or(trace), rng, out, raster);
     }
 }
 
@@ -293,6 +351,50 @@ mod tests {
         assert_eq!(a.len(), 30);
         assert_eq!(b.len(), 30);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn protect_into_clears_stale_contents_for_every_mechanism() {
+        // The cleared-then-filled contract, regression-tested across the
+        // default impl, per-record overrides and the composition: a
+        // recycled buffer pre-seeded with junk must come back holding
+        // exactly what `protect` returns — one stale record appended
+        // would silently corrupt every downstream verdict.
+        let t = walk(10);
+        let junk = Record::new(
+            GeoPoint::new(10.0, 10.0).unwrap(),
+            Timestamp::from_unix(-999),
+        );
+        let mechanisms: Vec<Arc<dyn Lppm>> = {
+            let mut v = base3();
+            v.push(Arc::new(Composition::new(base3())));
+            v.push(Arc::new(Composition::new(vec![
+                Arc::new(Trl::paper_default()) as Arc<dyn Lppm>,
+                Arc::new(GeoI::paper_default()),
+            ])));
+            v
+        };
+        for lppm in mechanisms {
+            let mut r1 = StdRng::seed_from_u64(42);
+            let expected = lppm.protect(&t, &mut r1).into_records();
+            for stale_len in [0usize, 3, 64] {
+                let mut out = vec![junk; stale_len];
+                let mut r2 = StdRng::seed_from_u64(42);
+                lppm.protect_into(&t, &mut r2, &mut out);
+                assert_eq!(
+                    out,
+                    expected,
+                    "{} with {stale_len} stale records",
+                    lppm.name()
+                );
+                // the raster-threaded variant honours the same contract
+                let mut out = vec![junk; stale_len];
+                let mut raster = mood_models::TraceRaster::new();
+                let mut r3 = StdRng::seed_from_u64(42);
+                lppm.protect_into_with(&t, &mut r3, &mut out, &mut raster);
+                assert_eq!(out, expected, "{} (with raster)", lppm.name());
+            }
+        }
     }
 
     #[test]

@@ -1,10 +1,11 @@
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use rand::{Rng, RngCore};
 
 use mood_geo::{CellId, Grid};
-use mood_models::Heatmap;
-use mood_trace::{Dataset, Trace, UserId};
+use mood_models::{Heatmap, TraceRaster};
+use mood_trace::{Dataset, Record, Trace, UserId};
 
 use crate::Lppm;
 
@@ -51,7 +52,46 @@ pub struct Hmc {
     grid: Grid,
     population: Vec<(UserId, Heatmap)>,
     confusion: f64,
+    /// Verified cache of recent protection *plans* (decoy choice +
+    /// rank-matching cell map per `(user, own heatmap)`); see
+    /// [`PlanCache`].
+    plans: Mutex<PlanCache>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
 }
+
+/// One cached protection plan: everything derivable from the trace's own
+/// heatmap. The heatmap is stored so a hit can be **verified exactly**
+/// (same user, equal heatmap ⇒ same decoy and same rank map, because
+/// both are pure functions of them) — never keyed by fingerprint.
+struct HmcPlan {
+    user: UserId,
+    own: Heatmap,
+    /// Index into `population`, `None` when no decoy exists (the
+    /// single-user case: the trace passes through unchanged).
+    decoy_idx: Option<usize>,
+    /// Rank-matching cell map, sorted by source cell for binary search.
+    map: Vec<(CellId, CellId)>,
+}
+
+/// The candidate hot path applies HMC to the same trace many times (the
+/// raw trace heads five of the fifteen paper variants), and the decoy
+/// scan — a Topsoe pass over the whole background population — dominates
+/// each application. A handful of verified plans, plus a scratch heatmap
+/// reused across lookups, turns the repeats into a heatmap rebuild and
+/// an equality check. Lookups `try_lock`; on contention the plan is
+/// computed fresh — outputs are identical either way, only the reuse
+/// counter differs.
+struct PlanCache {
+    scratch: Heatmap,
+    ranked_scratch: Vec<(CellId, f64)>,
+    plans: Vec<HmcPlan>,
+    next_evict: usize,
+}
+
+/// How many plans stay resident: covers several users' candidate walks
+/// interleaving on one engine (pipeline workers share the `Hmc`).
+const PLAN_CAPACITY: usize = 8;
 
 impl Hmc {
     /// Creates an HMC mechanism over `grid`, imitating profiles drawn
@@ -80,6 +120,14 @@ impl Hmc {
             grid,
             population,
             confusion,
+            plans: Mutex::new(PlanCache {
+                scratch: Heatmap::new(),
+                ranked_scratch: Vec::new(),
+                plans: Vec::new(),
+                next_evict: 0,
+            }),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
         }
     }
 
@@ -108,29 +156,169 @@ impl Hmc {
     /// when the only background user is the trace's own.
     pub fn choose_decoy(&self, trace: &Trace) -> Option<(UserId, &Heatmap)> {
         let own = Heatmap::from_trace(&self.grid, trace);
-        self.population
-            .iter()
-            .filter(|(u, _)| *u != trace.user())
-            .map(|(u, hm)| (*u, hm, own.topsoe(hm).unwrap_or(f64::INFINITY)))
-            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite or inf"))
-            .map(|(u, hm, _)| (u, hm))
+        self.decoy_for(trace.user(), &own)
+            .map(|i| (self.population[i].0, &self.population[i].1))
     }
 
-    /// The rank-matching cell map from `own` onto `decoy`: own k-th
-    /// hottest cell → decoy k-th hottest cell (wrapping when the decoy
-    /// has fewer cells).
-    fn rank_map(own: &Heatmap, decoy: &Heatmap) -> BTreeMap<CellId, CellId> {
-        let own_ranked = own.ranked_cells();
-        let decoy_ranked = decoy.ranked_cells();
-        let mut map = BTreeMap::new();
+    /// Protection plans served from the verified cache so far (decoy
+    /// scan and rank-map construction skipped).
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.plan_hits.load(Ordering::Relaxed)
+    }
+
+    /// Protection plans computed fresh so far (cache miss or lock
+    /// contention).
+    pub fn plan_cache_misses(&self) -> u64 {
+        self.plan_misses.load(Ordering::Relaxed)
+    }
+
+    /// Index of the decoy in `population` for a trace of `user` with
+    /// heatmap `own` — the pure function the plan cache memoizes.
+    fn decoy_for(&self, user: UserId, own: &Heatmap) -> Option<usize> {
+        self.population
+            .iter()
+            .enumerate()
+            .filter(|(_, (u, _))| *u != user)
+            .map(|(i, (_, hm))| (i, own.topsoe(hm).unwrap_or(f64::INFINITY)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite or inf"))
+            .map(|(i, _)| i)
+    }
+
+    /// Builds the rank-matching cell map from `own` onto the decoy: own
+    /// k-th hottest cell → decoy k-th hottest cell (wrapping when the
+    /// decoy has fewer cells). `map` comes back sorted by source cell;
+    /// `ranked` is a reusable ranking buffer.
+    fn build_rank_map(
+        &self,
+        own: &Heatmap,
+        decoy_idx: Option<usize>,
+        ranked: &mut Vec<(CellId, f64)>,
+        map: &mut Vec<(CellId, CellId)>,
+    ) {
+        map.clear();
+        let Some(decoy_idx) = decoy_idx else { return };
+        let decoy_ranked = self.population[decoy_idx].1.ranked_cells();
         if decoy_ranked.is_empty() {
-            return map;
+            return;
         }
-        for (k, (cell, _)) in own_ranked.iter().enumerate() {
-            let target = decoy_ranked[k % decoy_ranked.len()].0;
-            map.insert(*cell, target);
+        own.ranked_cells_into(ranked);
+        map.extend(
+            ranked
+                .iter()
+                .enumerate()
+                .map(|(k, (cell, _))| (*cell, decoy_ranked[k % decoy_ranked.len()].0)),
+        );
+        map.sort_by_key(|e| e.0);
+    }
+
+    /// The shared protection body: given the trace's pre-rasterized cell
+    /// sequence, resolve the plan (cached or fresh) and rebuild the
+    /// records run by run into `out`.
+    fn apply(&self, trace: &Trace, cells: &[CellId], rng: &mut dyn RngCore, out: &mut Vec<Record>) {
+        out.clear();
+        out.reserve(trace.len());
+        match self.plans.try_lock() {
+            Ok(mut guard) => {
+                let cache = &mut *guard;
+                let mut own = std::mem::take(&mut cache.scratch);
+                own.rebuild_from_cells(cells);
+                if let Some(i) = cache
+                    .plans
+                    .iter()
+                    .position(|p| p.user == trace.user() && p.own == own)
+                {
+                    self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                    let plan = &cache.plans[i];
+                    self.rebuild_records(trace, cells, plan.decoy_idx, &plan.map, rng, out);
+                    cache.scratch = own;
+                    return;
+                }
+                self.plan_misses.fetch_add(1, Ordering::Relaxed);
+                let decoy_idx = self.decoy_for(trace.user(), &own);
+                let slot = if cache.plans.len() < PLAN_CAPACITY {
+                    cache.plans.push(HmcPlan {
+                        user: trace.user(),
+                        own: Heatmap::new(),
+                        decoy_idx,
+                        map: Vec::new(),
+                    });
+                    cache.plans.len() - 1
+                } else {
+                    let slot = cache.next_evict;
+                    cache.next_evict = (cache.next_evict + 1) % PLAN_CAPACITY;
+                    cache.plans[slot].user = trace.user();
+                    cache.plans[slot].decoy_idx = decoy_idx;
+                    slot
+                };
+                let mut ranked = std::mem::take(&mut cache.ranked_scratch);
+                let mut map = std::mem::take(&mut cache.plans[slot].map);
+                self.build_rank_map(&own, decoy_idx, &mut ranked, &mut map);
+                self.rebuild_records(trace, cells, decoy_idx, &map, rng, out);
+                cache.plans[slot].map = map;
+                cache.ranked_scratch = ranked;
+                // the plan stores (and so verifies against) the exact
+                // heatmap it was derived from; the old buffer becomes
+                // the next lookup's scratch
+                cache.scratch = std::mem::replace(&mut cache.plans[slot].own, own);
+            }
+            Err(_) => {
+                // Contended or poisoned: compute the plan fresh. Same
+                // output, no blocking on the hot path.
+                let mut own = Heatmap::new();
+                own.rebuild_from_cells(cells);
+                let decoy_idx = self.decoy_for(trace.user(), &own);
+                self.plan_misses.fetch_add(1, Ordering::Relaxed);
+                let (mut ranked, mut map) = (Vec::new(), Vec::new());
+                self.build_rank_map(&own, decoy_idx, &mut ranked, &mut map);
+                self.rebuild_records(trace, cells, decoy_idx, &map, rng, out);
+            }
         }
-        map
+    }
+
+    /// Rebuilds the trace run by run: each maximal run of consecutive
+    /// records in one cell moves to the mapped cell with probability
+    /// `confusion` (one RNG draw per run, decoy or not — the draw order
+    /// is part of the determinism contract), or stays in place.
+    fn rebuild_records(
+        &self,
+        trace: &Trace,
+        cells: &[CellId],
+        decoy_idx: Option<usize>,
+        map: &[(CellId, CellId)],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<Record>,
+    ) {
+        if decoy_idx.is_none() {
+            // No decoy available (single-user population): nothing to
+            // imitate; pass the trace through unchanged (no RNG draws,
+            // matching the original behaviour).
+            out.extend_from_slice(trace.records());
+            return;
+        }
+        let rs = trace.records();
+        let mut i = 0;
+        while i < rs.len() {
+            // maximal run of consecutive records in the same cell
+            let cell = cells[i];
+            let mut j = i + 1;
+            while j < rs.len() && cells[j] == cell {
+                j += 1;
+            }
+            let move_run = rng.gen::<f64>() < self.confusion;
+            let target = map
+                .binary_search_by(|e| e.0.cmp(&cell))
+                .map(|k| map[k].1)
+                .unwrap_or(cell);
+            for r in &rs[i..j] {
+                if move_run && target != cell {
+                    let (fy, fx) = self.grid.fraction_in_cell(&r.point());
+                    out.push(r.with_point(self.grid.point_in_cell(target, fy, fx)));
+                } else {
+                    out.push(*r);
+                }
+            }
+            i = j;
+        }
     }
 }
 
@@ -140,37 +328,33 @@ impl Lppm for Hmc {
     }
 
     fn protect(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace {
-        let Some((_, decoy_hm)) = self.choose_decoy(trace) else {
-            // No decoy available (single-user population): nothing to
-            // imitate; return the trace unchanged.
-            return trace.clone();
-        };
-        let own = Heatmap::from_trace(&self.grid, trace);
-        let map = Self::rank_map(&own, decoy_hm);
-
         let mut records = Vec::with_capacity(trace.len());
-        let mut i = 0;
-        let rs = trace.records();
-        while i < rs.len() {
-            // maximal run of consecutive records in the same cell
-            let cell = self.grid.cell_of(&rs[i].point());
-            let mut j = i + 1;
-            while j < rs.len() && self.grid.cell_of(&rs[j].point()) == cell {
-                j += 1;
-            }
-            let move_run = rng.gen::<f64>() < self.confusion;
-            let target = map.get(&cell).copied().unwrap_or(cell);
-            for r in &rs[i..j] {
-                if move_run && target != cell {
-                    let (fy, fx) = self.grid.fraction_in_cell(&r.point());
-                    records.push(r.with_point(self.grid.point_in_cell(target, fy, fx)));
-                } else {
-                    records.push(*r);
-                }
-            }
-            i = j;
-        }
+        self.protect_into(trace, rng, &mut records);
         Trace::new(trace.user(), records).expect("same cardinality as input")
+    }
+
+    fn protect_into(&self, trace: &Trace, rng: &mut dyn RngCore, out: &mut Vec<Record>) {
+        let cells: Vec<CellId> = trace
+            .records()
+            .iter()
+            .map(|r| self.grid.cell_of(&r.point()))
+            .collect();
+        self.apply(trace, &cells, rng, out);
+    }
+
+    /// The native fast path: the cell sequence comes from (and warms)
+    /// the caller's shared rasterization cache, so scoring the same
+    /// trace afterwards — or protecting it under another HMC-first
+    /// variant — skips rasterization entirely.
+    fn protect_into_with(
+        &self,
+        trace: &Trace,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<Record>,
+        raster: &mut TraceRaster,
+    ) {
+        let cells = raster.cells(&self.grid, trace);
+        self.apply(trace, cells, rng, out);
     }
 }
 
@@ -247,7 +431,7 @@ mod tests {
         assert_ne!(decoy, UserId::new(1));
         // every protected record lands in a decoy-occupied cell
         let decoy_cells: std::collections::BTreeSet<CellId> =
-            decoy_hm.cells().keys().copied().collect();
+            decoy_hm.cells().iter().map(|e| e.0).collect();
         for r in p.records() {
             assert!(decoy_cells.contains(&grid.cell_of(&r.point())));
         }
@@ -281,6 +465,55 @@ mod tests {
         let mut r1 = StdRng::seed_from_u64(9);
         let mut r2 = StdRng::seed_from_u64(9);
         assert_eq!(hmc.protect(&t, &mut r1), hmc.protect(&t, &mut r2));
+    }
+
+    #[test]
+    fn fast_path_is_byte_identical_and_hits_the_plan_cache() {
+        let hmc = Hmc::paper_default(&background());
+        let traces = [
+            dwell_trace(1, 46.161, 6.061, 40),
+            dwell_trace(2, 46.251, 6.201, 30),
+        ];
+        let mut raster = TraceRaster::new();
+        let mut out = vec![rec(0.0, 0.0, 0)]; // dirty recycled buffer
+        for round in 0..3 {
+            for t in &traces {
+                let mut r1 = StdRng::seed_from_u64(11 + round);
+                let mut r2 = StdRng::seed_from_u64(11 + round);
+                let expected = hmc.protect(t, &mut r1);
+                hmc.protect_into_with(t, &mut r2, &mut out, &mut raster);
+                assert_eq!(out.as_slice(), expected.records(), "round {round}");
+            }
+        }
+        // repeats of the same (user, heatmap) pairs reuse cached plans
+        // and cached rasterizations
+        assert!(hmc.plan_cache_hits() > 0, "no plan-cache hits");
+        assert!(raster.hits() > 0, "no raster hits");
+    }
+
+    #[test]
+    fn plan_cache_distinguishes_equal_heatmaps_of_different_users() {
+        // user 1 and user 9 dwell at the SAME spot: identical heatmaps,
+        // but user 9's decoy may be user 1's profile while user 1 must
+        // skip itself — the cache must key on the user too.
+        let mut bg = background();
+        bg.insert(dwell_trace(9, 46.16, 6.06, 60)).unwrap();
+        let hmc = Hmc::paper_default(&bg);
+        let (spot_lat, spot_lng) = (46.1605, 6.0605);
+        let t1 = dwell_trace(1, spot_lat, spot_lng, 40);
+        let t9 = dwell_trace(9, spot_lat, spot_lng, 40);
+        let (d1, _) = hmc.choose_decoy(&t1).unwrap();
+        let (d9, _) = hmc.choose_decoy(&t9).unwrap();
+        assert_eq!(d1, UserId::new(9));
+        assert_eq!(d9, UserId::new(1));
+        // warm the cache with t1, then protect t9: same heatmap, other user
+        let mut r = StdRng::seed_from_u64(3);
+        let _ = hmc.protect(&t1, &mut r);
+        let p9 = hmc.protect(&t9, &mut r);
+        let mut fresh_rng = StdRng::seed_from_u64(3);
+        let fresh = Hmc::paper_default(&bg);
+        let _ = fresh.protect(&t1, &mut fresh_rng);
+        assert_eq!(p9, fresh.protect(&t9, &mut fresh_rng));
     }
 
     #[test]

@@ -51,6 +51,7 @@ use std::sync::Arc;
 
 use rand::RngCore;
 
+use mood_models::TraceRaster;
 use mood_trace::{Record, Trace};
 
 /// A Location Privacy Protection Mechanism.
@@ -77,11 +78,53 @@ pub trait Lppm: Send + Sync {
     /// The contract is exact equivalence: the same RNG draws in the
     /// same order, and `out` holding precisely the records `protect`
     /// would have returned (time-sorted, per the [`Trace`] invariant).
-    /// The default implementation delegates to `protect` and moves the
-    /// resulting buffer out, so implementations only override it when
-    /// they can genuinely reuse `out`'s capacity.
+    /// In particular `out` is **cleared, then filled**: whatever it held
+    /// before the call is discarded, never appended to — callers may
+    /// hand in a dirty recycled buffer. The default implementation
+    /// delegates to `protect` and moves the resulting buffer out, so
+    /// implementations only override it when they can genuinely reuse
+    /// `out`'s capacity.
+    ///
+    /// ```
+    /// use mood_lppm::{GeoI, Lppm};
+    /// use mood_synth::presets;
+    /// use rand::SeedableRng;
+    ///
+    /// let ds = presets::privamov_like().scaled(0.1).generate();
+    /// let trace = ds.iter().next().unwrap();
+    /// let geoi = GeoI::paper_default();
+    ///
+    /// let mut r1 = rand::rngs::StdRng::seed_from_u64(7);
+    /// let expected = geoi.protect(trace, &mut r1).into_records();
+    ///
+    /// // a recycled buffer full of stale records...
+    /// let mut out = vec![expected[0]; 5];
+    /// let mut r2 = rand::rngs::StdRng::seed_from_u64(7);
+    /// geoi.protect_into(trace, &mut r2, &mut out);
+    /// // ...is cleared then filled: prior contents never leak through
+    /// assert_eq!(out, expected);
+    /// ```
     fn protect_into(&self, trace: &Trace, rng: &mut dyn RngCore, out: &mut Vec<Record>) {
         *out = self.protect(trace, rng).into_records();
+    }
+
+    /// [`Lppm::protect_into`] with access to the caller's shared
+    /// [`TraceRaster`] — the per-worker `(grid, trace) → cell-sequence`
+    /// cache that attack scoring uses on the same scratch arena.
+    /// Grid-based mechanisms (HMC) override this so rasterizing the
+    /// input trace is shared with — or served by — the attack side;
+    /// everything else ignores the cache. Same exact-equivalence
+    /// contract as `protect_into` (cache hits are verified by full
+    /// record comparison, so outputs are bit-identical either way).
+    fn protect_into_with(
+        &self,
+        trace: &Trace,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<Record>,
+        raster: &mut TraceRaster,
+    ) {
+        let _ = raster;
+        self.protect_into(trace, rng, out);
     }
 }
 
@@ -96,5 +139,15 @@ impl<T: Lppm + ?Sized> Lppm for Arc<T> {
 
     fn protect_into(&self, trace: &Trace, rng: &mut dyn RngCore, out: &mut Vec<Record>) {
         (**self).protect_into(trace, rng, out)
+    }
+
+    fn protect_into_with(
+        &self,
+        trace: &Trace,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<Record>,
+        raster: &mut TraceRaster,
+    ) {
+        (**self).protect_into_with(trace, rng, out, raster)
     }
 }

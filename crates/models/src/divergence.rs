@@ -77,6 +77,118 @@ pub fn jensen_shannon<K: Ord + Copy>(p: &BTreeMap<K, f64>, q: &BTreeMap<K, f64>)
 /// assert_eq!(topsoe(&p, &p).unwrap(), 0.0);
 /// ```
 pub fn topsoe<K: Ord + Copy>(p: &BTreeMap<K, f64>, q: &BTreeMap<K, f64>) -> Option<f64> {
+    let pv: Vec<(K, f64)> = p.iter().map(|(&k, &v)| (k, v)).collect();
+    let qv: Vec<(K, f64)> = q.iter().map(|(&k, &v)| (k, v)).collect();
+    topsoe_sorted(&pv, &qv)
+}
+
+/// [`topsoe`] over sparse distributions stored as key-sorted slices —
+/// the allocation-free form the candidate hot path uses (heatmaps keep
+/// their cells this way).
+///
+/// The walk merges both supports in key order and accumulates one
+/// combined term per key. Each per-key term is mathematically
+/// non-negative (the pointwise Jensen inequality) and is clamped at 0 to
+/// make that hold bit-exactly under rounding, so partial sums are
+/// monotone — the property [`topsoe_sorted_bounded`]'s pruning rests on.
+///
+/// Returns `None` when either distribution is empty or has non-positive
+/// or non-finite total mass. Slices must be sorted by key with unique
+/// keys; non-negative masses are assumed (negative entries are treated
+/// as zero, matching [`topsoe`]).
+pub fn topsoe_sorted<K: Ord + Copy>(p: &[(K, f64)], q: &[(K, f64)]) -> Option<f64> {
+    topsoe_sorted_bounded(p, q, f64::INFINITY)
+}
+
+/// [`topsoe_sorted`] with **best-bound pruning**: accumulation stops —
+/// returning `None` — as soon as the partial sum exceeds `bound`.
+///
+/// The pruning is exact, not approximate: per-key terms are clamped
+/// non-negative, so the partial sum can only grow; once it exceeds
+/// `bound` the final score provably would too. A `Some(score)` result is
+/// **bit-identical** to the unpruned [`topsoe_sorted`] (same walk, same
+/// accumulation order), so replacing a full arg-min scan with a running
+/// best bound changes no verdict — the profile-matching proptests below
+/// gate exactly that.
+pub fn topsoe_sorted_bounded<K: Ord + Copy>(
+    p: &[(K, f64)],
+    q: &[(K, f64)],
+    bound: f64,
+) -> Option<f64> {
+    let tp: f64 = p.iter().map(|e| e.1).sum();
+    let tq: f64 = q.iter().map(|e| e.1).sum();
+    topsoe_sorted_bounded_with_totals(p, tp, q, tq, bound)
+}
+
+/// [`topsoe_sorted_bounded`] with the total masses supplied by the
+/// caller — the hot-path form for containers that already maintain
+/// their totals (e.g. `Heatmap`): a pruned comparison then pays only
+/// the merge steps it actually walks, not a full re-summation of both
+/// distributions. The caller's totals must equal the slice sums (up to
+/// the caller's own accumulation order); all verdict paths must source
+/// totals the same way to stay bit-consistent.
+pub fn topsoe_sorted_bounded_with_totals<K: Ord + Copy>(
+    p: &[(K, f64)],
+    tp: f64,
+    q: &[(K, f64)],
+    tq: f64,
+    bound: f64,
+) -> Option<f64> {
+    if tp <= 0.0 || tq <= 0.0 || !tp.is_finite() || !tq.is_finite() {
+        return None;
+    }
+    let mut sum = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < p.len() || j < q.len() {
+        // Merge step: pick the smaller key, or consume both on a match.
+        let (pv, qv) = match (p.get(i), q.get(j)) {
+            (Some(&(pk, pv)), Some(&(qk, qv))) => match pk.cmp(&qk) {
+                std::cmp::Ordering::Less => {
+                    i += 1;
+                    (pv, 0.0)
+                }
+                std::cmp::Ordering::Greater => {
+                    j += 1;
+                    (0.0, qv)
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                    (pv, qv)
+                }
+            },
+            (Some(&(_, pv)), None) => {
+                i += 1;
+                (pv, 0.0)
+            }
+            (None, Some(&(_, qv))) => {
+                j += 1;
+                (0.0, qv)
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        let pv = (pv / tp).max(0.0);
+        let qv = (qv / tq).max(0.0);
+        let mut term = 0.0;
+        if pv > 0.0 {
+            term += pv * ((2.0 * pv) / (pv + qv)).ln();
+        }
+        if qv > 0.0 {
+            term += qv * ((2.0 * qv) / (pv + qv)).ln();
+        }
+        sum += term.max(0.0);
+        if sum > bound {
+            return None;
+        }
+    }
+    Some(sum)
+}
+
+/// Reference Topsoe implementation: the original two-pass lookup-based
+/// accumulation, kept to cross-check the merge walk (term order differs,
+/// so values may differ by rounding noise — never more).
+#[cfg(test)]
+fn topsoe_reference<K: Ord + Copy>(p: &BTreeMap<K, f64>, q: &BTreeMap<K, f64>) -> Option<f64> {
     let (tp, tq) = (total(p), total(q));
     if tp <= 0.0 || tq <= 0.0 || !tp.is_finite() || !tq.is_finite() {
         return None;
@@ -186,6 +298,38 @@ mod tests {
         let expected = 0.5 * (0.5f64 / 0.25).ln() + 0.5 * (0.5f64 / 0.75).ln();
         assert!((kl(&p, &q).unwrap() - expected).abs() < 1e-12);
     }
+
+    #[test]
+    fn sorted_walk_matches_reference_implementation() {
+        let p = dist(&[(0, 0.5), (1, 0.2), (2, 0.3)]);
+        let q = dist(&[(0, 0.1), (1, 0.8), (3, 0.1)]);
+        let walk = topsoe(&p, &q).unwrap();
+        let reference = topsoe_reference(&p, &q).unwrap();
+        assert!((walk - reference).abs() < 1e-12, "{walk} vs {reference}");
+    }
+
+    #[test]
+    fn bounded_returns_identical_score_or_prunes() {
+        let p: Vec<(u32, f64)> = vec![(0, 0.5), (1, 0.2), (2, 0.3)];
+        let q: Vec<(u32, f64)> = vec![(0, 0.1), (1, 0.8), (3, 0.1)];
+        let full = topsoe_sorted(&p, &q).unwrap();
+        // infinite bound: bit-identical to the full walk
+        assert_eq!(topsoe_sorted_bounded(&p, &q, f64::INFINITY), Some(full));
+        assert_eq!(topsoe_sorted_bounded(&p, &q, full), Some(full));
+        // any bound below the score prunes
+        assert_eq!(topsoe_sorted_bounded(&p, &q, full * 0.99), None);
+        assert_eq!(topsoe_sorted_bounded(&p, &q, 0.0), None);
+    }
+
+    #[test]
+    fn sorted_rejects_empty() {
+        let p: Vec<(u32, f64)> = vec![(0, 1.0)];
+        let empty: Vec<(u32, f64)> = vec![];
+        assert!(topsoe_sorted(&p, &empty).is_none());
+        assert!(topsoe_sorted(&empty, &p).is_none());
+        let zero: Vec<(u32, f64)> = vec![(0, 0.0)];
+        assert!(topsoe_sorted(&p, &zero).is_none());
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +365,59 @@ mod proptests {
         fn js_bounded_by_ln2(p in arb_dist(), q in arb_dist()) {
             let js = jensen_shannon(&p, &q).unwrap();
             prop_assert!((0.0..=LN_2 + 1e-9).contains(&js));
+        }
+
+        #[test]
+        fn sorted_walk_agrees_with_reference(p in arb_dist(), q in arb_dist()) {
+            let walk = topsoe(&p, &q).unwrap();
+            let reference = topsoe_reference(&p, &q).unwrap();
+            prop_assert!((walk - reference).abs() < 1e-9, "{walk} vs {reference}");
+        }
+
+        // The pruned-matching gate: running an arg-min scan over
+        // arbitrary heatmap-like profiles with best-bound pruning must
+        // select the same winner with the bit-identical score as the
+        // unpruned reference scan — the exactness contract AP-Attack's
+        // profile matching relies on.
+        #[test]
+        fn pruned_matching_is_exact(
+            anon in arb_dist(),
+            profiles in proptest::collection::vec(arb_dist(), 1..12),
+        ) {
+            let anon: Vec<(u32, f64)> = anon.into_iter().collect();
+            let profiles: Vec<Vec<(u32, f64)>> = profiles
+                .into_iter()
+                .map(|d| d.into_iter().collect())
+                .collect();
+
+            // Unpruned reference: full score per profile, first strict
+            // minimum wins.
+            let mut ref_best: Option<(usize, f64)> = None;
+            for (i, profile) in profiles.iter().enumerate() {
+                let d = topsoe_sorted(&anon, profile).unwrap();
+                if ref_best.is_none_or(|(_, b)| d < b) {
+                    ref_best = Some((i, d));
+                }
+            }
+
+            // Pruned scan: later profiles are bounded by the running best.
+            let mut pruned_best: Option<(usize, f64)> = None;
+            for (i, profile) in profiles.iter().enumerate() {
+                let score = match pruned_best {
+                    None => topsoe_sorted(&anon, profile),
+                    Some((_, b)) => topsoe_sorted_bounded(&anon, profile, b),
+                };
+                if let Some(d) = score {
+                    if pruned_best.is_none_or(|(_, b)| d < b) {
+                        pruned_best = Some((i, d));
+                    }
+                }
+            }
+
+            let (ri, rd) = ref_best.unwrap();
+            let (pi, pd) = pruned_best.unwrap();
+            prop_assert_eq!(ri, pi, "winner diverged");
+            prop_assert_eq!(rd.to_bits(), pd.to_bits(), "winning score diverged");
         }
     }
 }

@@ -1,5 +1,3 @@
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use mood_geo::{CellId, GeoPoint, Grid};
@@ -12,6 +10,13 @@ use crate::divergence;
 ///
 /// Counts are kept raw; all comparisons normalize internally, so heatmaps
 /// built from traces of different lengths compare correctly.
+///
+/// Internally the counts live in a **sorted vector** of `(cell, count)`
+/// pairs rather than a `BTreeMap`: the candidate hot path rebuilds one
+/// heatmap per scored trace, and a flat vector can be cleared and
+/// refilled without a single node allocation
+/// ([`Heatmap::rebuild_from_cells`]), while lookups stay `O(log n)` by
+/// binary search and comparisons become allocation-free merge walks.
 ///
 /// # Examples
 ///
@@ -34,7 +39,8 @@ use crate::divergence;
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 #[serde(from = "HeatmapRepr", into = "HeatmapRepr")]
 pub struct Heatmap {
-    cells: BTreeMap<CellId, f64>,
+    /// `(cell, count)` pairs sorted by cell, each cell at most once.
+    cells: Vec<(CellId, f64)>,
     total: f64,
 }
 
@@ -47,22 +53,18 @@ struct HeatmapRepr {
 
 impl From<Heatmap> for HeatmapRepr {
     fn from(h: Heatmap) -> Self {
-        HeatmapRepr {
-            cells: h.cells.into_iter().collect(),
-        }
+        HeatmapRepr { cells: h.cells }
     }
 }
 
 impl From<HeatmapRepr> for Heatmap {
     fn from(r: HeatmapRepr) -> Self {
-        let mut cells = BTreeMap::new();
-        let mut total = 0.0;
+        let mut hm = Heatmap::new();
         for (c, w) in r.cells {
             let w = if w.is_finite() { w.max(0.0) } else { 0.0 };
-            *cells.entry(c).or_insert(0.0) += w;
-            total += w;
+            hm.add(c, w);
         }
-        Heatmap { cells, total }
+        hm
     }
 }
 
@@ -84,13 +86,50 @@ impl Heatmap {
     where
         I: IntoIterator<Item = GeoPoint>,
     {
-        let mut cells: BTreeMap<CellId, f64> = BTreeMap::new();
-        let mut total = 0.0;
-        for p in points {
-            *cells.entry(grid.cell_of(&p)).or_insert(0.0) += 1.0;
-            total += 1.0;
+        let mut hm = Self::new();
+        hm.accumulate(points.into_iter().map(|p| grid.cell_of(&p)));
+        hm
+    }
+
+    /// Clears the heatmap and refills it from a pre-rasterized cell
+    /// sequence, reusing the existing buffer — the zero-allocation twin
+    /// of [`Heatmap::from_trace`] for scratch-arena hot loops (the cell
+    /// sequence typically comes from a
+    /// [`TraceRaster`](crate::TraceRaster)).
+    ///
+    /// The result is identical to building a fresh heatmap from the same
+    /// cells: counts are whole numbers, so accumulation order cannot
+    /// change the stored values.
+    pub fn rebuild_from_cells(&mut self, cells: &[CellId]) {
+        self.cells.clear();
+        self.total = 0.0;
+        self.accumulate(cells.iter().copied());
+    }
+
+    /// Accumulates a cell sequence into the empty map: collapse
+    /// consecutive runs (dwells make them common), sort, then merge
+    /// duplicates in place.
+    fn accumulate<I: Iterator<Item = CellId>>(&mut self, cells: I) {
+        debug_assert!(self.cells.is_empty());
+        for c in cells {
+            self.total += 1.0;
+            if let Some(last) = self.cells.last_mut() {
+                if last.0 == c {
+                    last.1 += 1.0;
+                    continue;
+                }
+            }
+            self.cells.push((c, 1.0));
         }
-        Self { cells, total }
+        self.cells.sort_by_key(|e| e.0);
+        self.cells.dedup_by(|cur, kept| {
+            if cur.0 == kept.0 {
+                kept.1 += cur.1;
+                true
+            } else {
+                false
+            }
+        });
     }
 
     /// Adds `weight` mass to `cell`.
@@ -103,12 +142,15 @@ impl Heatmap {
             weight.is_finite() && weight >= 0.0,
             "weight must be non-negative"
         );
-        *self.cells.entry(cell).or_insert(0.0) += weight;
+        match self.cells.binary_search_by(|e| e.0.cmp(&cell)) {
+            Ok(i) => self.cells[i].1 += weight,
+            Err(i) => self.cells.insert(i, (cell, weight)),
+        }
         self.total += weight;
     }
 
-    /// The raw per-cell counts, ordered by cell.
-    pub fn cells(&self) -> &BTreeMap<CellId, f64> {
+    /// The raw per-cell counts as `(cell, count)` pairs, sorted by cell.
+    pub fn cells(&self) -> &[(CellId, f64)] {
         &self.cells
     }
 
@@ -127,19 +169,26 @@ impl Heatmap {
         self.total <= 0.0
     }
 
+    /// Raw count of `cell` (0 when absent).
+    pub fn count(&self, cell: CellId) -> f64 {
+        self.cells
+            .binary_search_by(|e| e.0.cmp(&cell))
+            .map_or(0.0, |i| self.cells[i].1)
+    }
+
     /// Probability mass of `cell` (0 when absent or the map is empty).
     pub fn probability(&self, cell: CellId) -> f64 {
         if self.total <= 0.0 {
             return 0.0;
         }
-        self.cells.get(&cell).map_or(0.0, |c| c / self.total)
+        self.count(cell) / self.total
     }
 
     /// The `k` hottest cells with their counts, descending; ties broken by
     /// cell order so the result is deterministic.
     pub fn top_cells(&self, k: usize) -> Vec<(CellId, f64)> {
-        let mut v: Vec<(CellId, f64)> = self.cells.iter().map(|(&c, &w)| (c, w)).collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut v = self.cells.clone();
+        Self::rank(&mut v);
         v.truncate(k);
         v
     }
@@ -150,20 +199,67 @@ impl Heatmap {
         self.top_cells(self.cells.len())
     }
 
-    /// Topsoe divergence to `other` (see [`divergence::topsoe`]);
+    /// Writes the full hottest-first ranking into `out` (cleared first),
+    /// reusing its buffer — the scratch twin of
+    /// [`Heatmap::ranked_cells`].
+    pub fn ranked_cells_into(&self, out: &mut Vec<(CellId, f64)>) {
+        out.clear();
+        out.extend_from_slice(&self.cells);
+        Self::rank(out);
+    }
+
+    fn rank(v: &mut [(CellId, f64)]) {
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    }
+
+    /// Topsoe divergence to `other` (see [`divergence::topsoe_sorted`]);
     /// `None` when either heatmap is empty. This is AP-Attack's profile
-    /// distance.
+    /// distance. Uses the maintained totals — no re-summation; every
+    /// `Heatmap` comparison sources totals the same way, so the
+    /// pruned/unpruned paths stay bit-consistent.
     pub fn topsoe(&self, other: &Heatmap) -> Option<f64> {
-        divergence::topsoe(&self.cells, &other.cells)
+        self.topsoe_bounded(other, f64::INFINITY)
+    }
+
+    /// [`Heatmap::topsoe`] with best-bound pruning: returns `None` as
+    /// soon as the partial sum provably exceeds `bound` (see
+    /// [`divergence::topsoe_sorted_bounded`]). A returned score is
+    /// bit-identical to the unpruned [`Heatmap::topsoe`].
+    pub fn topsoe_bounded(&self, other: &Heatmap, bound: f64) -> Option<f64> {
+        divergence::topsoe_sorted_bounded_with_totals(
+            &self.cells,
+            self.total,
+            &other.cells,
+            other.total,
+            bound,
+        )
     }
 
     /// Element-wise sum of two heatmaps (used to pool background
     /// knowledge).
     pub fn merged(&self, other: &Heatmap) -> Heatmap {
-        let mut cells = self.cells.clone();
-        for (&c, &w) in &other.cells {
-            *cells.entry(c).or_insert(0.0) += w;
+        let mut cells = Vec::with_capacity(self.cells.len() + other.cells.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.cells.len() && j < other.cells.len() {
+            let (a, b) = (self.cells[i], other.cells[j]);
+            match a.0.cmp(&b.0) {
+                std::cmp::Ordering::Less => {
+                    cells.push(a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    cells.push(b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    cells.push((a.0, a.1 + b.1));
+                    i += 1;
+                    j += 1;
+                }
+            }
         }
+        cells.extend_from_slice(&self.cells[i..]);
+        cells.extend_from_slice(&other.cells[j..]);
         Heatmap {
             cells,
             total: self.total + other.total,
@@ -235,13 +331,47 @@ mod tests {
         hm.add(c, 2.0);
         hm.add(c, 3.0);
         assert_eq!(hm.total(), 5.0);
-        assert_eq!(hm.cells()[&c], 5.0);
+        assert_eq!(hm.count(c), 5.0);
     }
 
     #[test]
     #[should_panic(expected = "weight must be non-negative")]
     fn add_rejects_negative() {
         Heatmap::new().add(CellId { row: 0, col: 0 }, -1.0);
+    }
+
+    #[test]
+    fn cells_are_sorted_and_unique() {
+        let mut hm = Heatmap::new();
+        for c in [5u32, 1, 3, 1, 5, 2] {
+            hm.add(CellId { row: c, col: 0 }, 1.0);
+        }
+        let cells = hm.cells();
+        assert_eq!(cells.len(), 4);
+        assert!(cells.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(hm.count(CellId { row: 1, col: 0 }), 2.0);
+    }
+
+    #[test]
+    fn rebuild_from_cells_matches_fresh_build() {
+        let g = grid();
+        let t = trace_at(&[
+            (46.15, 6.05),
+            (46.15, 6.05),
+            (46.25, 6.25),
+            (46.15, 6.05),
+            (46.22, 6.12),
+        ]);
+        let fresh = Heatmap::from_trace(&g, &t);
+        let cells: Vec<CellId> = t.records().iter().map(|r| g.cell_of(&r.point())).collect();
+        let mut reused = Heatmap::new();
+        // fill with junk first: rebuild must fully replace it
+        reused.add(CellId { row: 9, col: 9 }, 42.0);
+        reused.rebuild_from_cells(&cells);
+        assert_eq!(reused, fresh);
+        // and again, exercising the warmed buffer
+        reused.rebuild_from_cells(&cells);
+        assert_eq!(reused, fresh);
     }
 
     #[test]
@@ -255,6 +385,9 @@ mod tests {
         // tie between (0,0) and (2,2) broken by cell order
         assert_eq!(top[1].0, CellId { row: 0, col: 0 });
         assert_eq!(top[2].0, CellId { row: 2, col: 2 });
+        let mut ranked = vec![(CellId { row: 7, col: 7 }, 1.0)];
+        hm.ranked_cells_into(&mut ranked);
+        assert_eq!(ranked, hm.ranked_cells());
     }
 
     #[test]
@@ -284,6 +417,17 @@ mod tests {
             Heatmap::from_trace(&g, &c),
         );
         assert!(ha.topsoe(&hb).unwrap() < ha.topsoe(&hc).unwrap());
+    }
+
+    #[test]
+    fn topsoe_bounded_agrees_with_full_or_prunes() {
+        let g = grid();
+        let a = Heatmap::from_trace(&g, &trace_at(&[(46.15, 6.05), (46.25, 6.25)]));
+        let b = Heatmap::from_trace(&g, &trace_at(&[(46.15, 6.05), (46.12, 6.27)]));
+        let full = a.topsoe(&b).unwrap();
+        assert_eq!(a.topsoe_bounded(&b, f64::INFINITY), Some(full));
+        // a bound below the true score must prune
+        assert_eq!(a.topsoe_bounded(&b, full / 2.0), None);
     }
 
     #[test]

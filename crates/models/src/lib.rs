@@ -14,7 +14,17 @@
 //!   AP-Attack.
 //!
 //! The [`divergence`] module provides the underlying f64 distribution
-//! distances (KL, Jensen–Shannon, Topsoe).
+//! distances (KL, Jensen–Shannon, Topsoe), including the sorted-slice
+//! merge walk with **best-bound pruning** the candidate hot path uses.
+//!
+//! Every model supports a scratch-reuse path for allocation-free hot
+//! loops: [`Heatmap::rebuild_from_cells`],
+//! [`PoiExtractor::extract_stays_into`],
+//! [`PoiProfile::rebuild_from_stays`] and
+//! [`MarkovChain::rebuild_from_profile`] refill existing buffers with
+//! exactly what the allocating constructors would produce, and
+//! [`TraceRaster`] caches a trace's grid cell-sequence so it is computed
+//! once per `(grid, trace)` and shared by every consumer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +33,9 @@ pub mod divergence;
 mod heatmap;
 mod mmc;
 mod poi;
+mod raster;
 
 pub use heatmap::Heatmap;
 pub use mmc::MarkovChain;
 pub use poi::{Poi, PoiExtractor, PoiProfile, Stay};
+pub use raster::TraceRaster;

@@ -35,7 +35,7 @@ use crate::{Poi, PoiProfile};
 /// assert!(mmc.transition(0, 1) > 0.9);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MarkovChain {
     states: Vec<Poi>,
     /// Row-stochastic transition matrix, row-major; rows without observed
@@ -59,44 +59,49 @@ impl MarkovChain {
     /// ([`MarkovChain::state_count`] = 0) — attacks treat those users as
     /// unmatchable.
     pub fn from_profile(profile: &PoiProfile) -> Self {
+        let mut chain = Self::default();
+        chain.rebuild_from_profile(profile);
+        chain
+    }
+
+    /// Clears the chain and refills it from `profile`, reusing the
+    /// state/transition/stationary buffers — the scratch twin of
+    /// [`MarkovChain::from_profile`] with identical results.
+    pub fn rebuild_from_profile(&mut self, profile: &PoiProfile) {
+        self.states.clear();
+        self.transitions.clear();
+        self.stationary.clear();
         let n = profile.len();
         if n == 0 {
-            return Self {
-                states: vec![],
-                transitions: vec![],
-                stationary: vec![],
-            };
+            return;
         }
-        let mut counts = vec![0.0f64; n * n];
+        self.states.extend_from_slice(profile.pois());
+        // Accumulate raw counts in the transition buffer, then normalize
+        // each row in place (identical numerics to a separate count
+        // matrix: every entry is count/total).
+        self.transitions.resize(n * n, 0.0);
         for pair in profile.stay_assignment().windows(2) {
-            counts[pair[0] * n + pair[1]] += 1.0;
+            self.transitions[pair[0] * n + pair[1]] += 1.0;
         }
-        let mut transitions = vec![0.0f64; n * n];
         for i in 0..n {
-            let row = &counts[i * n..(i + 1) * n];
+            let row = &mut self.transitions[i * n..(i + 1) * n];
             let total: f64 = row.iter().sum();
             if total > 0.0 {
-                for j in 0..n {
-                    transitions[i * n + j] = row[j] / total;
+                for v in row.iter_mut() {
+                    *v /= total;
                 }
             } else {
                 // dangling state: uniform over all states
-                for j in 0..n {
-                    transitions[i * n + j] = 1.0 / n as f64;
-                }
+                row.fill(1.0 / n as f64);
             }
         }
-        let stationary = Self::power_iteration(&transitions, n);
-        Self {
-            states: profile.pois().to_vec(),
-            transitions,
-            stationary,
-        }
+        Self::power_iteration(&self.transitions, n, &mut self.stationary);
     }
 
-    fn power_iteration(transitions: &[f64], n: usize) -> Vec<f64> {
+    fn power_iteration(transitions: &[f64], n: usize, x: &mut Vec<f64>) {
         let uniform = 1.0 / n as f64;
-        let mut x = vec![uniform; n];
+        x.clear();
+        x.resize(n, uniform);
         let mut next = vec![0.0f64; n];
         for _ in 0..POWER_ITERATIONS {
             for v in next.iter_mut() {
@@ -112,12 +117,11 @@ impl MarkovChain {
                 }
             }
             let l1: f64 = x.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
-            std::mem::swap(&mut x, &mut next);
+            std::mem::swap(x, &mut next);
             if l1 < CONVERGENCE_L1 {
                 break;
             }
         }
-        x
     }
 
     /// Number of states (POIs).
@@ -280,6 +284,19 @@ mod tests {
         let json = serde_json::to_string(&mmc).unwrap();
         let back: MarkovChain = serde_json::from_str(&json).unwrap();
         assert_eq!(mmc, back);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_with_identical_results() {
+        let big = commuter_profile();
+        let small = PoiProfile::from_stays(&[stay(46.20, 6.10, 0, 10)], 200.0);
+        let empty = PoiProfile::from_stays(&[], 200.0);
+        let mut chain = MarkovChain::default();
+        // cycle through shrinking and growing profiles on one buffer set
+        for profile in [&big, &small, &empty, &big] {
+            chain.rebuild_from_profile(profile);
+            assert_eq!(chain, MarkovChain::from_profile(profile));
+        }
     }
 }
 

@@ -115,8 +115,18 @@ impl PoiExtractor {
 
     /// Extracts the time-ordered stays of `trace`.
     pub fn extract_stays(&self, trace: &Trace) -> Vec<Stay> {
-        let radius = self.diameter_m / 2.0;
         let mut stays = Vec::new();
+        self.extract_stays_into(trace, &mut stays);
+        stays
+    }
+
+    /// Writes the time-ordered stays of `trace` into `stays`, replacing
+    /// its previous contents — the buffer-reusing twin of
+    /// [`PoiExtractor::extract_stays`] for scratch-arena hot loops. The
+    /// result is identical to the allocating form.
+    pub fn extract_stays_into(&self, trace: &Trace, stays: &mut Vec<Stay>) {
+        stays.clear();
+        let radius = self.diameter_m / 2.0;
 
         // Running cluster state.
         let mut sum_lat = 0.0f64;
@@ -161,7 +171,6 @@ impl PoiExtractor {
             end = r.time();
         }
         flush(sum_lat, sum_lng, count, start, end);
-        stays
     }
 
     /// Extracts stays and aggregates them into a [`PoiProfile`], merging
@@ -175,7 +184,7 @@ impl PoiExtractor {
 /// A user's POI profile: aggregated POIs sorted by descending weight,
 /// plus the stay → POI assignment needed to build Markov-chain
 /// transitions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct PoiProfile {
     pois: Vec<Poi>,
     /// For each input stay (in time order), the index of its POI in
@@ -190,6 +199,15 @@ impl PoiProfile {
     /// descending record count (PIT-Attack orders states this way),
     /// ties broken by earlier discovery.
     pub fn from_stays(stays: &[Stay], merge_distance_m: f64) -> Self {
+        let mut profile = Self::default();
+        profile.rebuild_from_stays(stays, merge_distance_m);
+        profile
+    }
+
+    /// Clears the profile and refills it from `stays`, reusing the
+    /// existing buffers — the scratch twin of [`PoiProfile::from_stays`]
+    /// with identical results.
+    pub fn rebuild_from_stays(&mut self, stays: &[Stay], merge_distance_m: f64) {
         struct Agg {
             sum_lat: f64,
             sum_lng: f64,
@@ -197,8 +215,11 @@ impl PoiProfile {
             visits: usize,
             dwell: TimeDelta,
         }
+        self.pois.clear();
+        self.stay_assignment.clear();
+        // The aggregation state is tiny (one entry per distinct place);
+        // the per-record buffers above are the ones worth recycling.
         let mut aggs: Vec<Agg> = Vec::new();
-        let mut assignment = Vec::with_capacity(stays.len());
         for stay in stays {
             let found = aggs.iter().position(|a| {
                 let c = GeoPoint::new(a.sum_lat / a.records as f64, a.sum_lng / a.records as f64)
@@ -213,7 +234,7 @@ impl PoiProfile {
                     a.records += stay.record_count;
                     a.visits += 1;
                     a.dwell = a.dwell + stay.dwell();
-                    assignment.push(i);
+                    self.stay_assignment.push(i);
                 }
                 None => {
                     aggs.push(Agg {
@@ -223,7 +244,7 @@ impl PoiProfile {
                         visits: 1,
                         dwell: stay.dwell(),
                     });
-                    assignment.push(aggs.len() - 1);
+                    self.stay_assignment.push(aggs.len() - 1);
                 }
             }
         }
@@ -235,21 +256,19 @@ impl PoiProfile {
         for (new_idx, &old_idx) in order.iter().enumerate() {
             rank[old_idx] = new_idx;
         }
-        let mut pois: Vec<Option<Poi>> = vec![None; aggs.len()];
-        for (old_idx, a) in aggs.iter().enumerate() {
-            pois[rank[old_idx]] = Some(Poi {
+        // Emitting in `order` produces the rank-sorted POI list directly.
+        self.pois.extend(order.iter().map(|&old_idx| {
+            let a = &aggs[old_idx];
+            Poi {
                 centroid: GeoPoint::new(a.sum_lat / a.records as f64, a.sum_lng / a.records as f64)
                     .expect("aggregate centroid valid"),
                 record_count: a.records,
                 visit_count: a.visits,
                 total_dwell: a.dwell,
-            });
-        }
-        let pois: Vec<Poi> = pois.into_iter().map(|p| p.expect("filled")).collect();
-        let stay_assignment = assignment.into_iter().map(|i| rank[i]).collect();
-        Self {
-            pois,
-            stay_assignment,
+            }
+        }));
+        for a in &mut self.stay_assignment {
+            *a = rank[*a];
         }
     }
 
@@ -277,14 +296,24 @@ impl PoiProfile {
     /// Normalized POI weights (record-count share); sums to 1 when the
     /// profile is non-empty.
     pub fn weights(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.weights_into(&mut out);
+        out
+    }
+
+    /// Writes the normalized POI weights into `out` (cleared first),
+    /// reusing its buffer — the scratch twin of [`PoiProfile::weights`].
+    pub fn weights_into(&self, out: &mut Vec<f64>) {
+        out.clear();
         let total: usize = self.pois.iter().map(|p| p.record_count).sum();
         if total == 0 {
-            return vec![];
+            return;
         }
-        self.pois
-            .iter()
-            .map(|p| p.record_count as f64 / total as f64)
-            .collect()
+        out.extend(
+            self.pois
+                .iter()
+                .map(|p| p.record_count as f64 / total as f64),
+        );
     }
 
     /// The `k` heaviest POIs (all of them when fewer exist).
@@ -443,6 +472,34 @@ mod tests {
         let json = serde_json::to_string(&profile).unwrap();
         let back: PoiProfile = serde_json::from_str(&json).unwrap();
         assert_eq!(profile, back);
+    }
+
+    #[test]
+    fn scratch_paths_match_allocating_paths() {
+        let e = PoiExtractor::paper_default();
+        let trace = commuter_trace();
+        let mut stays = vec![Stay {
+            centroid: pt(0.0, 0.0),
+            start: Timestamp::from_unix(0),
+            end: Timestamp::from_unix(0),
+            record_count: 99,
+        }];
+        // stale contents are fully replaced
+        e.extract_stays_into(&trace, &mut stays);
+        assert_eq!(stays, e.extract_stays(&trace));
+
+        let mut profile = PoiProfile::default();
+        profile.rebuild_from_stays(&stays, e.diameter_m());
+        assert_eq!(profile, e.extract_profile(&trace));
+        // rebuild on a warm buffer, including shrinking to empty
+        profile.rebuild_from_stays(&[], e.diameter_m());
+        assert!(profile.is_empty());
+        profile.rebuild_from_stays(&stays, e.diameter_m());
+        assert_eq!(profile, e.extract_profile(&trace));
+
+        let mut weights = vec![9.0; 4];
+        profile.weights_into(&mut weights);
+        assert_eq!(weights, profile.weights());
     }
 }
 

@@ -79,6 +79,9 @@ pub struct ServerMetrics {
     responses: AtomicU64,
     users_protected: AtomicU64,
     scratch_reuses: AtomicU64,
+    attack_scratch_reuses: AtomicU64,
+    heatmap_cache_hits: AtomicU64,
+    heatmap_cache_misses: AtomicU64,
     connections: AtomicU64,
     overload_rejected: AtomicU64,
 }
@@ -100,6 +103,9 @@ impl ServerMetrics {
             responses: AtomicU64::new(0),
             users_protected: AtomicU64::new(0),
             scratch_reuses: AtomicU64::new(0),
+            attack_scratch_reuses: AtomicU64::new(0),
+            heatmap_cache_hits: AtomicU64::new(0),
+            heatmap_cache_misses: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             overload_rejected: AtomicU64::new(0),
         }
@@ -151,6 +157,21 @@ impl ServerMetrics {
         self.scratch_reuses.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds a request engine's attack-scratch reuses to the running
+    /// total (warm-arena attack scoring; see
+    /// `MoodEngine::attack_scratch_reuses`).
+    pub fn add_attack_scratch_reuses(&self, n: u64) {
+        self.attack_scratch_reuses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds a request engine's rasterization-cache (heatmap-scratch)
+    /// hit/miss counts to the running totals.
+    pub fn add_heatmap_cache(&self, hits: u64, misses: u64) {
+        self.heatmap_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.heatmap_cache_misses
+            .fetch_add(misses, Ordering::Relaxed);
+    }
+
     /// Counts one accepted connection.
     pub fn record_connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
@@ -193,6 +214,21 @@ impl ServerMetrics {
     /// Scratch-arena reuses accumulated from request engines so far.
     pub fn scratch_reuses_total(&self) -> u64 {
         self.scratch_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Attack-scratch reuses accumulated from request engines so far.
+    pub fn attack_scratch_reuses_total(&self) -> u64 {
+        self.attack_scratch_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Heatmap-scratch (rasterization-cache) hits accumulated so far.
+    pub fn heatmap_cache_hits_total(&self) -> u64 {
+        self.heatmap_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Heatmap-scratch (rasterization-cache) misses accumulated so far.
+    pub fn heatmap_cache_misses_total(&self) -> u64 {
+        self.heatmap_cache_misses.load(Ordering::Relaxed)
     }
 
     /// Responses sent with `status` so far.
@@ -255,6 +291,20 @@ impl ServerMetrics {
             "mood_serve_scratch_reuses_total {}\n",
             self.scratch_reuses.load(Ordering::Relaxed)
         ));
+        out.push_str("# TYPE mood_serve_attack_scratch_reuses_total counter\n");
+        out.push_str(&format!(
+            "mood_serve_attack_scratch_reuses_total {}\n",
+            self.attack_scratch_reuses.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE mood_serve_heatmap_cache_total counter\n");
+        out.push_str(&format!(
+            "mood_serve_heatmap_cache_total{{result=\"hit\"}} {}\n",
+            self.heatmap_cache_hits.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "mood_serve_heatmap_cache_total{{result=\"miss\"}} {}\n",
+            self.heatmap_cache_misses.load(Ordering::Relaxed)
+        ));
         out.push_str("# TYPE mood_serve_connections_total counter\n");
         out.push_str(&format!(
             "mood_serve_connections_total {}\n",
@@ -292,6 +342,8 @@ mod tests {
         m.record_response(404, Duration::from_millis(30));
         m.add_users(5);
         m.add_scratch_reuses(7);
+        m.add_attack_scratch_reuses(11);
+        m.add_heatmap_cache(3, 4);
         m.record_connection();
         m.record_overload();
 
@@ -328,6 +380,21 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("mood_serve_scratch_reuses_total 7"), "{text}");
+        assert!(
+            text.contains("mood_serve_attack_scratch_reuses_total 11"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_heatmap_cache_total{result=\"hit\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_heatmap_cache_total{result=\"miss\"} 4"),
+            "{text}"
+        );
+        assert_eq!(m.attack_scratch_reuses_total(), 11);
+        assert_eq!(m.heatmap_cache_hits_total(), 3);
+        assert_eq!(m.heatmap_cache_misses_total(), 4);
         assert!(
             text.contains("mood_serve_executor_threads{backend=\"persistent\"} 4"),
             "{text}"

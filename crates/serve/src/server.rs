@@ -393,6 +393,19 @@ fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
     })
 }
 
+/// Folds one request engine's scratch observables into the server
+/// metrics: protection-buffer reuses, attack-scratch reuses and the
+/// rasterization (heatmap-scratch) cache hit/miss counts.
+fn record_engine_scratch(shared: &ServerShared, engine: &mood_core::MoodEngine) {
+    shared.metrics.add_scratch_reuses(engine.scratch_reuses());
+    shared
+        .metrics
+        .add_attack_scratch_reuses(engine.attack_scratch_reuses());
+    shared
+        .metrics
+        .add_heatmap_cache(engine.raster_cache_hits(), engine.raster_cache_misses());
+}
+
 fn handle_protect(shared: &ServerShared, body: &[u8]) -> Response {
     let request: ProtectRequest = match parse_body(body) {
         Ok(request) => request,
@@ -404,7 +417,7 @@ fn handle_protect(shared: &ServerShared, body: &[u8]) -> Response {
         .engine_for_on(seed, Arc::clone(&shared.executor));
     let outcome = engine.protect_user(&request.trace);
     shared.metrics.add_users(1);
-    shared.metrics.add_scratch_reuses(engine.scratch_reuses());
+    record_engine_scratch(shared, &engine);
     Response::json(
         200,
         &ProtectResponse {
@@ -446,7 +459,7 @@ fn handle_batch(shared: &ServerShared, body: &[u8]) -> Response {
     let report = protect_stream(&engine, &dataset, shared.executor.as_ref(), |_outcome| {
         shared.metrics.add_users(1);
     });
-    shared.metrics.add_scratch_reuses(engine.scratch_reuses());
+    record_engine_scratch(shared, &engine);
     match report {
         Ok(report) => Response::json(
             200,

@@ -124,6 +124,18 @@ fn smoke_healthz_protect_roundtrip_and_clean_shutdown() {
     );
     assert!(text.contains("mood_serve_scratch_reuses_total"), "{text}");
     assert!(
+        text.contains("mood_serve_attack_scratch_reuses_total"),
+        "{text}"
+    );
+    assert!(
+        text.contains("mood_serve_heatmap_cache_total{result=\"hit\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("mood_serve_heatmap_cache_total{result=\"miss\"}"),
+        "{text}"
+    );
+    assert!(
         text.contains("mood_serve_executor_threads{backend=\"persistent\"} 2"),
         "{text}"
     );

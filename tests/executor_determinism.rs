@@ -52,6 +52,43 @@ fn protect_dataset_is_identical_for_every_backend_and_thread_count() {
 }
 
 #[test]
+fn scratch_attack_path_is_byte_identical_and_observably_reused() {
+    // The scratch-aware attack path (per-worker AttackScratch, pruned
+    // profile matching, shared rasterization cache, HMC plan cache) is
+    // the engine's default scoring path. Gate it explicitly: every
+    // backend × thread count must produce the byte-identical protection
+    // AND must demonstrably run on warm attack arenas — if the scratch
+    // plumbing silently fell back to the allocating path, the reuse
+    // counter would stay at zero and this test would fail even though
+    // outputs still matched.
+    let (bg, test) = mini_world();
+    let engine = MoodEngine::paper_default(&bg);
+    let reference =
+        protect_dataset_with(&engine, &test, ExecutorKind::Sequential.build(1).as_ref());
+    let reference_bytes = fingerprint(&reference);
+
+    for kind in ExecutorKind::all() {
+        for threads in THREAD_COUNTS {
+            let engine = EngineBuilder::paper_default(&bg)
+                .executor(kind.build(threads))
+                .build()
+                .expect("paper defaults are valid");
+            let report =
+                protect_dataset_with(&engine, &test, ExecutorKind::Sequential.build(1).as_ref());
+            assert_eq!(
+                fingerprint(&report),
+                reference_bytes,
+                "scratch attack path diverged on {kind} x{threads}"
+            );
+            assert!(
+                engine.attack_scratch_reuses() > 0,
+                "{kind} x{threads}: no warm attack-scratch starts recorded"
+            );
+        }
+    }
+}
+
+#[test]
 fn two_level_parallelism_matches_the_sequential_reference() {
     // Candidate-level executor inside the engine AND user-level
     // executor in the pipeline, both parallel at once.

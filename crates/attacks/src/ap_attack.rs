@@ -1,10 +1,9 @@
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use mood_geo::Grid;
 use mood_models::Heatmap;
 use mood_trace::{Dataset, Trace, UserId};
 
-use crate::{Attack, AttackScratch, Prediction, TrainedAttack};
+use crate::{Attack, AttackScratch, HeatmapSet, Prediction, ProfileStore, TrainedAttack};
 
 /// AP-Attack (Maouche et al. 2017, the paper's \[22\]): heatmap profiles
 /// over a uniform grid, compared with the Topsoe divergence.
@@ -64,26 +63,24 @@ impl Attack for ApAttack {
 
     fn train(&self, background: &Dataset) -> Box<dyn TrainedAttack> {
         assert!(!background.is_empty(), "background knowledge is empty");
-        let bbox = background
-            .bounding_box()
-            .expect("non-empty dataset has a bounding box")
-            // Obfuscated traces can wander outside the background extent
-            // (TRL pushes records up to 1 km out); widen the grid so they
-            // land in real cells instead of piling up on the border.
-            .expanded(2_000.0)
-            .expect("non-negative margin");
-        let grid = Grid::new(bbox, self.cell_size_m).expect("validated cell size");
-        let profiles: BTreeMap<UserId, Heatmap> = background
-            .iter()
-            .map(|t| (t.user(), Heatmap::from_trace(&grid, t)))
-            .collect();
-        Box::new(TrainedApAttack { grid, profiles })
+        // One-shot build of the same set a ProfileStore would intern
+        // (grid widened 2 km so obfuscated traces land in real cells
+        // instead of piling up on the border — see `HeatmapSet::build`).
+        Box::new(TrainedApAttack {
+            profiles: Arc::new(HeatmapSet::build(background, self.cell_size_m)),
+        })
+    }
+
+    fn train_with(&self, background: &Dataset, store: &ProfileStore) -> Box<dyn TrainedAttack> {
+        assert!(!background.is_empty(), "background knowledge is empty");
+        Box::new(TrainedApAttack {
+            profiles: store.heatmaps(background, self.cell_size_m),
+        })
     }
 }
 
 struct TrainedApAttack {
-    grid: Grid,
-    profiles: BTreeMap<UserId, Heatmap>,
+    profiles: Arc<HeatmapSet>,
 }
 
 impl TrainedAttack for TrainedApAttack {
@@ -92,14 +89,14 @@ impl TrainedAttack for TrainedApAttack {
     }
 
     fn predict(&self, trace: &Trace) -> Prediction {
-        let anon = Heatmap::from_trace(&self.grid, trace);
+        let anon = Heatmap::from_trace(self.profiles.grid(), trace);
         if anon.is_empty() {
             return Prediction::none();
         }
         let scores: Vec<(UserId, f64)> = self
             .profiles
             .iter()
-            .map(|(&user, profile)| {
+            .map(|(user, profile)| {
                 let d = anon.topsoe(profile).unwrap_or(f64::INFINITY);
                 (user, d)
             })
@@ -123,12 +120,12 @@ impl TrainedAttack for TrainedApAttack {
         let AttackScratch {
             raster, heatmap, ..
         } = scratch;
-        let cells = raster.cells(&self.grid, trace);
+        let cells = raster.cells(self.profiles.grid(), trace);
         heatmap.rebuild_from_cells(cells);
         if heatmap.is_empty() {
             return false; // predict abstains
         }
-        let winner = crate::scratch::bounded_argmin(&self.profiles, |profile, bound| {
+        let winner = crate::scratch::bounded_argmin(self.profiles.iter(), |profile, bound| {
             heatmap.topsoe_bounded(profile, bound.unwrap_or(f64::INFINITY))
         });
         winner == Some(true_user)

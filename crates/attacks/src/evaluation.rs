@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use mood_exec::{for_each_index_with, Executor, SequentialExecutor};
 use mood_trace::{Dataset, Trace, UserId};
 
-use crate::{Attack, AttackScratch, TrainedAttack};
+use crate::{Attack, AttackScratch, ProfileStore, TrainedAttack};
 
 /// A set of trained attacks — the virtual adversary MooD defends against
 /// (paper §4.4 uses m = 3 attacks at once).
@@ -38,16 +38,41 @@ pub struct AttackSuite {
 impl AttackSuite {
     /// Trains every attack on the same background knowledge.
     ///
+    /// The attacks share one private [`ProfileStore`] for the pass, so
+    /// models common to several attacks (POI-Attack and PIT-Attack both
+    /// extract the same POI profiles under the paper's extractor) are
+    /// built once — byte-identical to independent training by the
+    /// store's verified-hit contract.
+    ///
     /// # Panics
     ///
     /// Panics when `attacks` is empty or `background` is empty.
     pub fn train(attacks: &[&dyn Attack], background: &Dataset) -> Self {
+        Self::train_with_store(attacks, background, &ProfileStore::new())
+    }
+
+    /// [`AttackSuite::train`] through a caller-owned [`ProfileStore`]:
+    /// profile sets already interned for this background are reused, so
+    /// a second suite/tenant over the same dataset trains with **zero**
+    /// additional profile builds (the store's counters prove it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `attacks` is empty or `background` is empty.
+    pub fn train_with_store(
+        attacks: &[&dyn Attack],
+        background: &Dataset,
+        store: &ProfileStore,
+    ) -> Self {
         assert!(
             !attacks.is_empty(),
             "attack suite needs at least one attack"
         );
         Self {
-            attacks: attacks.iter().map(|a| a.train(background)).collect(),
+            attacks: attacks
+                .iter()
+                .map(|a| a.train_with(background, store))
+                .collect(),
         }
     }
 
@@ -124,6 +149,39 @@ impl AttackSuite {
     ) -> bool {
         self.first_reidentifying_with(trace, true_user, scratch)
             .is_none()
+    }
+
+    /// Batched [`AttackSuite::protects_with`] over a candidate slab:
+    /// writes one verdict per trace into `protected` (cleared first), in
+    /// trace order.
+    ///
+    /// Evaluation is **attack-major** with skip-once-hit: each attack
+    /// streams its trained profile arrays over the whole slab
+    /// ([`TrainedAttack::score_batch`]'s regime), and a candidate
+    /// already re-identified by an earlier attack is skipped by later
+    /// ones. That performs *exactly* the candidate-major short-circuit's
+    /// set of inference calls — candidate `i` reaches attack `k` iff no
+    /// attack before `k` re-identified it — in a different order, and
+    /// since every scratch cache is comparison-verified, call order
+    /// cannot change any verdict: element `i` equals
+    /// `protects_with(&traces[i], true_user, scratch)`.
+    pub fn protects_batch_with(
+        &self,
+        traces: &[Trace],
+        true_user: UserId,
+        scratch: &mut AttackScratch,
+        protected: &mut Vec<bool>,
+    ) {
+        protected.clear();
+        protected.resize(traces.len(), true);
+        for attack in &self.attacks {
+            for (trace, verdict) in traces.iter().zip(protected.iter_mut()) {
+                if *verdict && attack.reidentify_with(trace, true_user, scratch) {
+                    *verdict = false;
+                }
+            }
+        }
+        scratch.mark_used();
     }
 
     /// [`AttackSuite::protects`], with the attacks evaluated on
@@ -465,6 +523,63 @@ mod tests {
             "PIT never reused POI's stay extraction"
         );
         assert!(scratch.profile_cache_misses() > 0);
+    }
+
+    #[test]
+    fn score_batch_equals_per_candidate_scoring() {
+        use crate::AttackScratch;
+        use mood_synth::presets;
+        let ds = presets::privamov_like().scaled(0.2).generate();
+        let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
+        let suite = full_suite(&train);
+
+        // A slab per user: their raw trace plus jittered variants
+        // (standing in for LPPM candidates), scored as one batch.
+        for trace in test.iter().take(4) {
+            let mut slab: Vec<Trace> = vec![trace.clone()];
+            for (v, d) in [(1, 0.003), (2, -0.006), (3, 0.02)] {
+                let jittered: Vec<Record> = trace
+                    .records()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        let p = r.point();
+                        let sign = if (i + v) % 2 == 0 { d } else { -d };
+                        r.with_point(GeoPoint::new(p.lat() + sign, p.lng() - sign).unwrap())
+                    })
+                    .collect();
+                slab.push(Trace::new(trace.user(), jittered).unwrap());
+            }
+
+            let mut batch_scratch = AttackScratch::new();
+            let mut verdicts = Vec::new();
+            for attack in suite.attacks() {
+                attack.score_batch(&slab, trace.user(), &mut batch_scratch, &mut verdicts);
+                assert_eq!(verdicts.len(), slab.len());
+                let mut per_candidate = AttackScratch::new();
+                for (candidate, &verdict) in slab.iter().zip(&verdicts) {
+                    assert_eq!(
+                        verdict,
+                        attack.reidentify_with(candidate, trace.user(), &mut per_candidate),
+                        "{} batch verdict diverged",
+                        attack.name()
+                    );
+                }
+            }
+
+            // Suite-level slab: attack-major with skip-once-hit must
+            // equal the per-candidate short-circuit walk.
+            let mut protected = Vec::new();
+            suite.protects_batch_with(&slab, trace.user(), &mut batch_scratch, &mut protected);
+            let mut per_candidate = AttackScratch::new();
+            for (candidate, &p) in slab.iter().zip(&protected) {
+                assert_eq!(
+                    p,
+                    suite.protects_with(candidate, trace.user(), &mut per_candidate),
+                    "suite batch verdict diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod pit_attack;
 mod poi_attack;
 mod prediction;
 mod scratch;
+mod store;
 
 pub use ap_attack::ApAttack;
 pub use evaluation::{AttackSuite, DatasetEvaluation};
@@ -59,6 +60,7 @@ pub use pit_attack::PitAttack;
 pub use poi_attack::PoiAttack;
 pub use prediction::Prediction;
 pub use scratch::AttackScratch;
+pub use store::{ChainSet, HeatmapSet, PoiProfileSet, ProfileStore, StoreCounters};
 
 use mood_trace::{Dataset, Trace};
 
@@ -76,6 +78,21 @@ pub trait Attack {
     /// Implementations panic when `background` is empty — an attack with
     /// no candidates is a configuration error.
     fn train(&self, background: &Dataset) -> Box<dyn TrainedAttack>;
+
+    /// [`Attack::train`] through a shared [`ProfileStore`]: profile sets
+    /// already interned for `(background, this attack's parameters)` are
+    /// reused instead of rebuilt, so suites, tenants and engine
+    /// templates over the same background knowledge train once.
+    ///
+    /// The contract is strict training equivalence: the trained attack
+    /// must be byte-identical (verdicts *and* profiles) to what
+    /// [`Attack::train`] produces — store hits are full-compare verified,
+    /// never fingerprint-trusted. The default implementation ignores the
+    /// store, so third-party attacks stay correct without opting in.
+    fn train_with(&self, background: &Dataset, store: &ProfileStore) -> Box<dyn TrainedAttack> {
+        let _ = store;
+        self.train(background)
+    }
 }
 
 /// A trained attack, ready to re-identify anonymous traces.
@@ -116,5 +133,27 @@ pub trait TrainedAttack: Send + Sync {
     ) -> bool {
         let _ = scratch;
         self.re_identifies(trace, true_user)
+    }
+
+    /// Batched [`TrainedAttack::reidentify_with`] over a candidate slab:
+    /// appends one verdict per trace to `verdicts` (cleared first), in
+    /// trace order. Streaming a whole slab against the attack's trained
+    /// profiles keeps the profile-side SoA arrays hot across candidates
+    /// and amortizes per-attack dispatch; the contract is strict verdict
+    /// equivalence — element `i` must equal
+    /// `reidentify_with(&traces[i], true_user, scratch)` called in
+    /// order, which the default implementation is verbatim.
+    fn score_batch(
+        &self,
+        traces: &[Trace],
+        true_user: mood_trace::UserId,
+        scratch: &mut AttackScratch,
+        verdicts: &mut Vec<bool>,
+    ) {
+        verdicts.clear();
+        verdicts.reserve(traces.len());
+        for trace in traces {
+            verdicts.push(self.reidentify_with(trace, true_user, scratch));
+        }
     }
 }

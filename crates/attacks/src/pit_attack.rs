@@ -1,9 +1,11 @@
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use mood_models::{MarkovChain, PoiExtractor};
+use mood_models::{kernels, CentroidSoa, MarkovChain, PoiExtractor};
 use mood_trace::{Dataset, Trace, UserId};
 
-use crate::{Attack, AttackScratch, Prediction, TrainedAttack};
+use crate::{
+    Attack, AttackScratch, ChainSet, PoiProfileSet, Prediction, ProfileStore, TrainedAttack,
+};
 
 /// PIT-Attack (Gambs et al. 2014, the paper's \[16\]): profiles are
 /// Mobility Markov Chains; chains are compared with the **stats-prox**
@@ -54,17 +56,22 @@ impl Attack for PitAttack {
 
     fn train(&self, background: &Dataset) -> Box<dyn TrainedAttack> {
         assert!(!background.is_empty(), "background knowledge is empty");
-        let profiles: BTreeMap<UserId, MarkovChain> = background
-            .iter()
-            .map(|t| {
-                let profile = self.extractor.extract_profile(t);
-                (t.user(), MarkovChain::from_profile(&profile))
-            })
-            .collect();
+        // One-shot build of the same sets a ProfileStore would intern:
+        // profiles extracted once, chains derived from them.
+        let profiles = PoiProfileSet::build(background, &self.extractor);
         Box::new(TrainedPitAttack {
             extractor: self.extractor,
             top_k: self.top_k,
-            profiles,
+            profiles: Arc::new(ChainSet::derive(&profiles)),
+        })
+    }
+
+    fn train_with(&self, background: &Dataset, store: &ProfileStore) -> Box<dyn TrainedAttack> {
+        assert!(!background.is_empty(), "background knowledge is empty");
+        Box::new(TrainedPitAttack {
+            extractor: self.extractor,
+            top_k: self.top_k,
+            profiles: store.markov_chains(background, &self.extractor),
         })
     }
 }
@@ -72,7 +79,7 @@ impl Attack for PitAttack {
 struct TrainedPitAttack {
     extractor: PoiExtractor,
     top_k: usize,
-    profiles: BTreeMap<UserId, MarkovChain>,
+    profiles: Arc<ChainSet>,
 }
 
 /// Reference form of the stationary term; the scoring path inlines it
@@ -109,24 +116,12 @@ fn proximity_distance(anon: &MarkovChain, cand: &MarkovChain, top_k: usize) -> f
     sum / norm
 }
 
+/// The scalar reference stats-prox — the hot path scores through the
+/// bit-identical SoA kernel ([`stats_prox_bounded_soa`]), and the
+/// scratch-vs-predict parity tests gate the two against each other.
 fn stats_prox(anon: &MarkovChain, cand: &MarkovChain, top_k: usize) -> f64 {
-    stats_prox_bounded(anon, cand, top_k, None).expect("unbounded never prunes")
-}
-
-/// [`stats_prox`] with optional best-bound pruning on the stationary
-/// half: its terms (`π_i × nearest distance`) are non-negative, so the
-/// partial sum is monotone and `0.5 × partial` already exceeding `bound`
-/// proves the full stats-prox (which only adds the non-negative
-/// proximity half) would too — pruning is exact, and a returned score is
-/// bit-identical to the unbounded computation.
-fn stats_prox_bounded(
-    anon: &MarkovChain,
-    cand: &MarkovChain,
-    top_k: usize,
-    bound: Option<f64>,
-) -> Option<f64> {
     if cand.is_empty() {
-        return Some(f64::INFINITY);
+        return f64::INFINITY;
     }
     let pi = anon.stationary();
     let mut sum = 0.0;
@@ -137,12 +132,31 @@ fn stats_prox_bounded(
             .map(|c| a_state.centroid.approx_distance(&c.centroid))
             .fold(f64::INFINITY, f64::min);
         sum += pi[i] * nearest;
-        if let Some(b) = bound {
-            if 0.5 * sum > b {
-                return None;
-            }
-        }
     }
+    0.5 * sum + 0.5 * proximity_distance(anon, cand, top_k)
+}
+
+/// [`stats_prox`] with optional best-bound pruning on the stationary
+/// half, which streams the candidate's SoA state centroids through the
+/// two-phase nearest kernel: its terms (`π_i × nearest distance`) are
+/// non-negative, so the partial sum is monotone and `0.5 × partial`
+/// already exceeding `bound` proves the full stats-prox (which only
+/// adds the non-negative proximity half) would too — pruning is exact,
+/// and a returned score is bit-identical to the unbounded scalar
+/// computation (the kernel's contract, pinned by `mood_models::kernels`
+/// proptests).
+fn stats_prox_bounded_soa(
+    anon: &MarkovChain,
+    cand: &MarkovChain,
+    cand_centroids: &CentroidSoa,
+    top_k: usize,
+    bound: Option<f64>,
+) -> Option<f64> {
+    if cand.is_empty() {
+        return Some(f64::INFINITY);
+    }
+    let pi = anon.stationary();
+    let sum = kernels::weighted_nearest_bounded(anon.states(), pi, cand_centroids, bound, 0.5)?;
     Some(0.5 * sum + 0.5 * proximity_distance(anon, cand, top_k))
 }
 
@@ -160,7 +174,7 @@ impl TrainedAttack for TrainedPitAttack {
         let scores: Vec<(UserId, f64)> = self
             .profiles
             .iter()
-            .map(|(&user, cand)| (user, stats_prox(&anon, cand, self.top_k)))
+            .map(|(user, cand, _)| (user, stats_prox(&anon, cand, self.top_k)))
             .collect();
         Prediction::from_scores(scores)
     }
@@ -182,9 +196,16 @@ impl TrainedAttack for TrainedPitAttack {
         if chain.is_empty() {
             return false; // predict abstains
         }
-        let winner = crate::scratch::bounded_argmin(&self.profiles, |cand, bound| {
-            stats_prox_bounded(chain, cand, self.top_k, bound)
-        });
+        let candidates = self
+            .profiles
+            .iter()
+            .map(|(user, cand, centroids)| (user, (cand, centroids)));
+        let winner = crate::scratch::bounded_argmin(
+            candidates,
+            |(cand, centroids): (&MarkovChain, &CentroidSoa), bound| {
+                stats_prox_bounded_soa(chain, cand, centroids, self.top_k, bound)
+            },
+        );
         winner == Some(true_user)
     }
 }

@@ -1,9 +1,9 @@
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use mood_models::{PoiExtractor, PoiProfile};
+use mood_models::{kernels, CentroidSoa, PoiExtractor, PoiProfile};
 use mood_trace::{Dataset, Trace, UserId};
 
-use crate::{Attack, AttackScratch, Prediction, TrainedAttack};
+use crate::{Attack, AttackScratch, PoiProfileSet, Prediction, ProfileStore, TrainedAttack};
 
 /// POI-Attack (Primault et al. 2014, the paper's \[27\]): profiles are POI
 /// sets; the similarity between an anonymous profile and a candidate is
@@ -45,43 +45,37 @@ impl Attack for PoiAttack {
 
     fn train(&self, background: &Dataset) -> Box<dyn TrainedAttack> {
         assert!(!background.is_empty(), "background knowledge is empty");
-        let profiles: BTreeMap<UserId, PoiProfile> = background
-            .iter()
-            .map(|t| (t.user(), self.extractor.extract_profile(t)))
-            .collect();
+        // One-shot build of the same set a ProfileStore would intern.
         Box::new(TrainedPoiAttack {
             extractor: self.extractor,
-            profiles,
+            profiles: Arc::new(PoiProfileSet::build(background, &self.extractor)),
+        })
+    }
+
+    fn train_with(&self, background: &Dataset, store: &ProfileStore) -> Box<dyn TrainedAttack> {
+        assert!(!background.is_empty(), "background knowledge is empty");
+        Box::new(TrainedPoiAttack {
+            extractor: self.extractor,
+            profiles: store.poi_profiles(background, &self.extractor),
         })
     }
 }
 
 struct TrainedPoiAttack {
     extractor: PoiExtractor,
-    profiles: BTreeMap<UserId, PoiProfile>,
+    profiles: Arc<PoiProfileSet>,
 }
 
 /// Weighted mean distance from each POI of `anon` to the nearest POI of
-/// `candidate`; infinite when the candidate has no POIs.
+/// `candidate`; infinite when the candidate has no POIs. This is the
+/// scalar reference walk — the hot path scores through the bit-identical
+/// SoA kernel ([`kernels::weighted_nearest_bounded`]), and the
+/// scratch-vs-predict parity tests gate the two against each other.
 fn profile_distance(anon: &PoiProfile, candidate: &PoiProfile) -> f64 {
-    let weights = anon.weights();
-    profile_distance_bounded(anon, &weights, candidate, None).expect("unbounded never prunes")
-}
-
-/// [`profile_distance`] with optional best-bound pruning: returns `None`
-/// as soon as the partial sum exceeds `bound`. Terms (`weight × nearest
-/// distance`) are non-negative, so partial sums are monotone and pruning
-/// is exact: a pruned candidate's full score provably exceeds the bound.
-/// A returned score is bit-identical to the unbounded walk.
-fn profile_distance_bounded(
-    anon: &PoiProfile,
-    weights: &[f64],
-    candidate: &PoiProfile,
-    bound: Option<f64>,
-) -> Option<f64> {
     if candidate.is_empty() {
-        return Some(f64::INFINITY);
+        return f64::INFINITY;
     }
+    let weights = anon.weights();
     let mut sum = 0.0;
     for (poi, w) in anon.pois().iter().zip(weights.iter()) {
         let nearest = candidate
@@ -90,13 +84,8 @@ fn profile_distance_bounded(
             .map(|c| poi.centroid.approx_distance(&c.centroid))
             .fold(f64::INFINITY, f64::min);
         sum += w * nearest;
-        if let Some(b) = bound {
-            if sum > b {
-                return None;
-            }
-        }
     }
-    Some(sum)
+    sum
 }
 
 impl TrainedAttack for TrainedPoiAttack {
@@ -112,16 +101,19 @@ impl TrainedAttack for TrainedPoiAttack {
         let scores: Vec<(UserId, f64)> = self
             .profiles
             .iter()
-            .map(|(&user, profile)| (user, profile_distance(&anon, profile)))
+            .map(|(user, profile, _)| (user, profile_distance(&anon, profile)))
             .collect();
         Prediction::from_scores(scores)
     }
 
     /// Scratch path: stays, the anonymous profile and its weights come
     /// from the worker's buffers (the profile via the shared POI/PIT
-    /// cache), and candidate matching prunes with the running best
-    /// distance (verdict equivalence with `predict` is
-    /// [`crate::scratch::bounded_argmin`]'s contract).
+    /// cache), and candidate matching streams the trained profiles' SoA
+    /// centroid arrays through the two-phase nearest kernel, pruning
+    /// with the running best distance (verdict equivalence with
+    /// `predict` is [`crate::scratch::bounded_argmin`]'s contract; the
+    /// kernel is bit-identical to the scalar walk by
+    /// `mood_models::kernels`' proptests).
     fn reidentify_with(
         &self,
         trace: &Trace,
@@ -134,9 +126,14 @@ impl TrainedAttack for TrainedPoiAttack {
             return false; // predict abstains
         }
         profile.weights_into(weights);
-        let winner = crate::scratch::bounded_argmin(&self.profiles, |candidate, bound| {
-            profile_distance_bounded(profile, weights, candidate, bound)
-        });
+        let candidates = self
+            .profiles
+            .iter()
+            .map(|(user, _, centroids)| (user, centroids));
+        let winner =
+            crate::scratch::bounded_argmin(candidates, |centroids: &CentroidSoa, bound| {
+                kernels::weighted_nearest_bounded(profile.pois(), weights, centroids, bound, 1.0)
+            });
         winner == Some(true_user)
     }
 }

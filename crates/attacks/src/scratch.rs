@@ -24,34 +24,33 @@
 //! * **No carry-over semantics** — contents are an optimization only; a
 //!   fresh scratch must produce the same verdicts as a warm one.
 
-use std::collections::BTreeMap;
-
 use mood_models::{MarkovChain, PoiExtractor, PoiProfile, Stay, TraceRaster};
 use mood_trace::{Record, Trace, UserId};
 
 /// The pruned profile-matching scan shared by every native
-/// `reidentify_with`: walks `profiles` in ascending-user order, scoring
-/// each via `score(profile, running_best)` — a callback that may return
-/// `None` to signal "provably above the bound" (exact pruning) — and
-/// returns the winner.
+/// `reidentify_with`: walks `profiles` — which **must** yield users in
+/// ascending order (`BTreeMap` iteration, or a profile set's sorted
+/// `users` slice) — scoring each via `score(profile, running_best)`, a
+/// callback that may return `None` to signal "provably above the bound"
+/// (exact pruning), and returns the winner.
 ///
 /// **Verdict equivalence with `Prediction::from_scores`** (proven here
 /// once, relied on by all three attacks): `from_scores` sorts by
 /// `(distance, user)` and picks the first finite entry, i.e. the
 /// minimal finite distance with ties broken by the smallest user. This
-/// scan visits users in ascending order (`BTreeMap` iteration) and
-/// replaces the best only on a **strictly** smaller score, so an equal
-/// later score keeps the earlier (smaller) user — the same tiebreak —
-/// and non-finite scores are skipped just as `from_scores` never
-/// selects them. Pruned profiles (`score` returned `None` under a
-/// bound) provably exceed the running best, so they could never win.
-/// Keep the strict `<`: relaxing it to `<=` silently breaks parity.
+/// scan visits users in ascending order and replaces the best only on a
+/// **strictly** smaller score, so an equal later score keeps the
+/// earlier (smaller) user — the same tiebreak — and non-finite scores
+/// are skipped just as `from_scores` never selects them. Pruned
+/// profiles (`score` returned `None` under a bound) provably exceed the
+/// running best, so they could never win. Keep the strict `<`: relaxing
+/// it to `<=` silently breaks parity.
 pub(crate) fn bounded_argmin<P>(
-    profiles: &BTreeMap<UserId, P>,
-    mut score: impl FnMut(&P, Option<f64>) -> Option<f64>,
+    profiles: impl IntoIterator<Item = (UserId, P)>,
+    mut score: impl FnMut(P, Option<f64>) -> Option<f64>,
 ) -> Option<UserId> {
     let mut best: Option<(UserId, f64)> = None;
-    for (&user, profile) in profiles {
+    for (user, profile) in profiles {
         if let Some(d) = score(profile, best.map(|(_, b)| b)) {
             if d.is_finite() && best.is_none_or(|(_, b)| d < b) {
                 best = Some((user, d));

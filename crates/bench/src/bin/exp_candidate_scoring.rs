@@ -26,10 +26,55 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use mood_attacks::AttackScratch;
-use mood_bench::perf::{CandidateScoringReport, CandidateScoringRow, CANDIDATE_SCORING_PATH};
+use mood_bench::perf::{
+    CandidateScoringReport, CandidateScoringRow, KernelMicroRow, CANDIDATE_SCORING_PATH,
+};
 use mood_bench::{cli_options, ExperimentContext};
+use mood_models::{kernels, Heatmap, MarkovChain, Poi, PoiExtractor, PoiProfile};
 use mood_synth::presets;
 use mood_trace::Trace;
+
+/// Scalar reference of the SoA weighted-nearest kernel: the naive
+/// per-pair walk the POI/PIT attacks used before the two-phase SoA
+/// rewrite. The micro rows assert the kernel is bit-identical to this
+/// before timing it.
+fn scalar_weighted_nearest(anon: &[Poi], weights: &[f64], cand: &[Poi]) -> f64 {
+    if cand.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut sum = 0.0;
+    for (poi, w) in anon.iter().zip(weights.iter()) {
+        let nearest = cand
+            .iter()
+            .map(|c| poi.centroid.approx_distance(&c.centroid))
+            .fold(f64::INFINITY, f64::min);
+        sum += w * nearest;
+    }
+    sum
+}
+
+/// Times `pass` (one full sweep of `calls` kernel invocations) and
+/// reports nanoseconds per call. The returned accumulator is
+/// `black_box`ed so the sweeps cannot be optimized away.
+fn time_kernel(label: &str, calls: usize, mut pass: impl FnMut() -> f64) -> KernelMicroRow {
+    std::hint::black_box(pass()); // warmup
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        std::hint::black_box(pass());
+        iters += 1;
+        if start.elapsed().as_secs_f64() >= 0.25 && iters >= 3 {
+            break;
+        }
+    }
+    let ns_per_call = start.elapsed().as_nanos() as f64 / (calls as f64 * f64::from(iters));
+    println!("{label:<14} {ns_per_call:>9.1} ns/verdict   ({calls} calls/pass)");
+    KernelMicroRow {
+        kernel: label.to_string(),
+        calls,
+        ns_per_call,
+    }
+}
 
 fn main() {
     let (scale, _threads) = cli_options();
@@ -132,10 +177,119 @@ fn main() {
         });
     }
 
+    // --- model-kernel micro rows ---------------------------------
+    // ns per verdict-sized call through the three SoA hot loops, each
+    // gated bit-for-bit against its scalar reference (SoA ≡ scalar) and
+    // against its unbounded form (pruned ≡ unpruned) before timing.
+    println!("\n--- model kernels ---");
+    let extractor = PoiExtractor::paper_default();
+    let hm_set = ctx.store.heatmaps(&ctx.train, 800.0);
+    let poi_set = ctx.store.poi_profiles(&ctx.train, &extractor);
+    let chain_set = ctx.store.markov_chains(&ctx.train, &extractor);
+
+    let sample: Vec<&Trace> = ctx.test.iter().take(8).collect();
+    let anon_heatmaps: Vec<Heatmap> = sample
+        .iter()
+        .map(|t| Heatmap::from_trace(hm_set.grid(), t))
+        .filter(|h| !h.is_empty())
+        .collect();
+    let anon_profiles: Vec<PoiProfile> = sample
+        .iter()
+        .map(|t| extractor.extract_profile(t))
+        .filter(|p| !p.is_empty())
+        .collect();
+    let anon_chains: Vec<MarkovChain> = anon_profiles
+        .iter()
+        .map(MarkovChain::from_profile)
+        .filter(|c| !c.is_empty())
+        .collect();
+
+    for anon in &anon_heatmaps {
+        for (_, profile) in hm_set.iter() {
+            let bounded = anon.topsoe_bounded(profile, f64::INFINITY);
+            assert_eq!(
+                bounded.map(f64::to_bits),
+                anon.topsoe(profile).map(f64::to_bits),
+                "bounded Topsoe diverged from the unbounded walk"
+            );
+        }
+    }
+    for anon in &anon_profiles {
+        let weights = anon.weights();
+        for (_, profile, soa) in poi_set.iter() {
+            let got = kernels::weighted_nearest_bounded(anon.pois(), &weights, soa, None, 1.0)
+                .expect("unbounded kernel never prunes");
+            let want = scalar_weighted_nearest(anon.pois(), &weights, profile.pois());
+            assert_eq!(got.to_bits(), want.to_bits(), "POI kernel diverged");
+        }
+    }
+    for anon in &anon_chains {
+        let pi = anon.stationary();
+        for (_, chain, soa) in chain_set.iter() {
+            let got = kernels::weighted_nearest_bounded(anon.states(), pi, soa, None, 0.5)
+                .expect("unbounded kernel never prunes");
+            let want = scalar_weighted_nearest(anon.states(), pi, chain.states());
+            assert_eq!(got.to_bits(), want.to_bits(), "PIT kernel diverged");
+        }
+    }
+    println!("kernel parity OK (SoA ≡ scalar, pruned ≡ unpruned)\n");
+
+    let mut kernel_rows = Vec::new();
+    if !anon_heatmaps.is_empty() {
+        kernel_rows.push(time_kernel(
+            "kernel_topsoe",
+            anon_heatmaps.len() * hm_set.len(),
+            || {
+                let mut acc = 0.0;
+                for anon in &anon_heatmaps {
+                    for (_, profile) in hm_set.iter() {
+                        acc += anon.topsoe_bounded(profile, f64::INFINITY).unwrap_or(0.0);
+                    }
+                }
+                acc
+            },
+        ));
+    }
+    if !anon_profiles.is_empty() {
+        let weights: Vec<Vec<f64>> = anon_profiles.iter().map(|p| p.weights()).collect();
+        kernel_rows.push(time_kernel(
+            "kernel_poi",
+            anon_profiles.len() * poi_set.len(),
+            || {
+                let mut acc = 0.0;
+                for (anon, w) in anon_profiles.iter().zip(&weights) {
+                    for (_, _, soa) in poi_set.iter() {
+                        acc += kernels::weighted_nearest_bounded(anon.pois(), w, soa, None, 1.0)
+                            .unwrap_or(0.0);
+                    }
+                }
+                acc
+            },
+        ));
+    }
+    if !anon_chains.is_empty() {
+        kernel_rows.push(time_kernel(
+            "kernel_pit",
+            anon_chains.len() * chain_set.len(),
+            || {
+                let mut acc = 0.0;
+                for anon in &anon_chains {
+                    let pi = anon.stationary();
+                    for (_, _, soa) in chain_set.iter() {
+                        acc += kernels::weighted_nearest_bounded(anon.states(), pi, soa, None, 0.5)
+                            .unwrap_or(0.0);
+                    }
+                }
+                acc
+            },
+        ));
+    }
+
     let doc = CandidateScoringReport {
         dataset: ctx.spec.name.clone(),
         scale_note: format!("mdc-like @600s scaled by {scale}"),
         rows,
+        kernels: kernel_rows,
     };
     mood_bench::perf::write_json(CANDIDATE_SCORING_PATH, &doc).expect("write scoring results");
     println!(

@@ -26,7 +26,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use mood_attacks::{ApAttack, Attack, AttackSuite, PitAttack, PoiAttack};
+use mood_attacks::{ApAttack, Attack, AttackSuite, PitAttack, PoiAttack, ProfileStore};
 use mood_core::{
     protect_dataset, EngineBuilder, HybridLppm, MoodConfig, MoodEngine, ProtectionReport,
 };
@@ -57,12 +57,18 @@ pub struct ExperimentContext {
     pub suite_all: Arc<AttackSuite>,
     /// Suite with AP-Attack only.
     pub suite_ap: Arc<AttackSuite>,
+    /// The profile store both suites trained through: the AP-only suite
+    /// reuses the all-attacks suite's heatmaps instead of rebuilding
+    /// them, and every engine built from this context shares the one
+    /// set of trained profiles.
+    pub store: Arc<ProfileStore>,
     base_lppms: Arc<[Arc<dyn Lppm>]>,
 }
 
 impl ExperimentContext {
     /// Generates the dataset at `scale`, splits it chronologically and
-    /// trains both attack suites.
+    /// trains both attack suites through one shared [`ProfileStore`]
+    /// (profiles built once, shared by handle).
     pub fn load(spec: &DatasetSpec, scale: f64) -> Self {
         let spec = if scale < 1.0 {
             spec.scaled(scale)
@@ -71,17 +77,20 @@ impl ExperimentContext {
         };
         let ds = spec.generate();
         let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
-        let suite_all = Arc::new(AttackSuite::train(
+        let store = Arc::new(ProfileStore::new());
+        let suite_all = Arc::new(AttackSuite::train_with_store(
             &[
                 &PoiAttack::paper_default() as &dyn Attack,
                 &PitAttack::paper_default(),
                 &ApAttack::paper_default(),
             ],
             &train,
+            &store,
         ));
-        let suite_ap = Arc::new(AttackSuite::train(
+        let suite_ap = Arc::new(AttackSuite::train_with_store(
             &[&ApAttack::paper_default() as &dyn Attack],
             &train,
+            &store,
         ));
         let base_lppms: Arc<[Arc<dyn Lppm>]> = Arc::from([
             Arc::new(GeoI::paper_default()) as Arc<dyn Lppm>,
@@ -94,6 +103,7 @@ impl ExperimentContext {
             test,
             suite_all,
             suite_ap,
+            store,
             base_lppms,
         }
     }
@@ -114,6 +124,7 @@ impl ExperimentContext {
         EngineBuilder::new(suite)
             .lppms_shared(Arc::clone(&self.base_lppms))
             .config(MoodConfig::paper_default())
+            .profile_store(Arc::clone(&self.store))
             .build()
             .expect("paper defaults are valid")
     }
@@ -395,6 +406,20 @@ mod tests {
             let test_trace = ctx.test.get(train_trace.user()).expect("same users");
             assert!(train_trace.end_time() < test_trace.start_time());
         }
+    }
+
+    #[test]
+    fn both_suites_train_through_one_store() {
+        let ctx = tiny_ctx();
+        let counters = ctx.store.counters();
+        // Heatmaps, POI profiles and chains each built once; the chain
+        // derivation re-fetches the POI profiles and the AP-only suite
+        // re-fetches the heatmaps — hits, not rebuilds.
+        assert_eq!(counters.misses, 3, "{counters:?}");
+        assert_eq!(counters.hits, 2, "{counters:?}");
+        // Engines built from the context surface the same counters.
+        let engine = ctx.engine(Adversary::ApOnly);
+        assert_eq!(engine.profile_store_counters(), counters);
     }
 
     #[test]

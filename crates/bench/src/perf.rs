@@ -139,6 +139,21 @@ pub struct CandidateScoringRow {
     pub speedup_vs_predict: f64,
 }
 
+/// One measured model kernel (`exp_candidate_scoring`'s micro section):
+/// nanoseconds per verdict-sized call through the SoA hot loops —
+/// Topsoe over sorted heatmap cells, the POI weighted nearest-distance,
+/// and the PIT stationary half. Each timed pass first asserts the
+/// kernel's result is bit-identical to the scalar reference walk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelMicroRow {
+    /// Kernel label (`kernel_topsoe`, `kernel_poi`, `kernel_pit`).
+    pub kernel: String,
+    /// Kernel calls per timed pass.
+    pub calls: usize,
+    /// Nanoseconds per call — the rate `bench_delta` compares.
+    pub ns_per_call: f64,
+}
+
 /// The document `exp_candidate_scoring` emits.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CandidateScoringReport {
@@ -148,6 +163,8 @@ pub struct CandidateScoringReport {
     pub scale_note: String,
     /// One row per measured mode.
     pub rows: Vec<CandidateScoringRow>,
+    /// One row per measured model kernel.
+    pub kernels: Vec<KernelMicroRow>,
 }
 
 /// The combined baseline document (`BENCH_throughput.json`): every
@@ -276,6 +293,20 @@ pub fn delta_report(baseline: &BenchBaseline, current: &BenchBaseline) -> Vec<St
             .as_ref()
             .map(|r| r.rows.as_slice()),
         |r| (r.mode.as_str(), 1, r.candidates_per_s),
+    );
+    section_report(
+        &mut out,
+        "model kernels (lower is better)",
+        "ns/call",
+        baseline
+            .candidate_scoring
+            .as_ref()
+            .map(|r| (r.kernels.as_slice(), r.scale_note.as_str())),
+        current
+            .candidate_scoring
+            .as_ref()
+            .map(|r| r.kernels.as_slice()),
+        |r| (r.kernel.as_str(), 1, r.ns_per_call),
     );
     out
 }

@@ -4,7 +4,9 @@ use std::sync::{Arc, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use mood_attacks::{ApAttack, Attack, AttackScratch, AttackSuite, PitAttack, PoiAttack};
+use mood_attacks::{
+    ApAttack, Attack, AttackScratch, AttackSuite, PitAttack, PoiAttack, ProfileStore, StoreCounters,
+};
 use mood_lppm::{enumerate_compositions, Composition, GeoI, Hmc, Lppm, Trl};
 use mood_metrics::spatio_temporal_distortion;
 use mood_trace::{Dataset, Record, Trace};
@@ -158,6 +160,7 @@ pub struct EngineBuilder {
     lppms: LppmSet,
     config: MoodConfig,
     executor: Arc<dyn Executor>,
+    store: Option<Arc<ProfileStore>>,
 }
 
 /// The builder's LPPM set: either composed piecewise (`Owned`) or taken
@@ -199,30 +202,58 @@ impl EngineBuilder {
             lppms: LppmSet::Owned(Vec::new()),
             config: MoodConfig::paper_default(),
             executor: Arc::new(SequentialExecutor),
+            store: None,
         }
     }
 
     /// Starts from the paper's full setup: POI/PIT/AP attacks trained on
-    /// `background` and the LPPM set {Geo-I, TRL, HMC}.
+    /// `background` and the LPPM set {Geo-I, TRL, HMC}. Training runs
+    /// through a fresh [`ProfileStore`], which the built engine keeps —
+    /// see [`EngineBuilder::paper_default_with_store`] to share one
+    /// store (and its trained profiles) across several engines.
     ///
     /// # Panics
     ///
     /// Panics when `background` is empty (attack training requires at
     /// least one profile).
     pub fn paper_default(background: &Dataset) -> Self {
-        let suite = AttackSuite::train(
+        Self::paper_default_with_store(background, Arc::new(ProfileStore::new()))
+    }
+
+    /// [`EngineBuilder::paper_default`] with a caller-owned
+    /// [`ProfileStore`]: attack training interns its trained profile
+    /// sets in `store` (POI and PIT already share one extraction pass),
+    /// so a second engine built over the same background dataset —
+    /// another tenant, an ablation, a per-request rebuild — reuses them
+    /// without building a single profile. The store's hit/miss/build
+    /// counters are surfaced by [`MoodEngine::profile_store_counters`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `background` is empty.
+    pub fn paper_default_with_store(background: &Dataset, store: Arc<ProfileStore>) -> Self {
+        let suite = AttackSuite::train_with_store(
             &[
                 &PoiAttack::paper_default() as &dyn Attack,
                 &PitAttack::paper_default(),
                 &ApAttack::paper_default(),
             ],
             background,
+            &store,
         );
-        Self::new(Arc::new(suite)).lppms(vec![
+        Self::new(Arc::new(suite)).profile_store(store).lppms(vec![
             Arc::new(GeoI::paper_default()),
             Arc::new(Trl::paper_default()),
             Arc::new(Hmc::paper_default(background)),
         ])
+    }
+
+    /// Attaches the profile store the suite was trained through, so the
+    /// engine can surface its hit/miss/build counters and hand the store
+    /// to sibling builds ([`MoodEngine::profile_store`]).
+    pub fn profile_store(mut self, store: Arc<ProfileStore>) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// Replaces the base LPPM set.
@@ -302,6 +333,7 @@ impl EngineBuilder {
             config: self.config,
             executor: self.executor,
             scratch: ScratchPool::new(),
+            store: self.store,
         })
     }
 }
@@ -334,6 +366,7 @@ pub struct MoodEngine {
     config: MoodConfig,
     executor: Arc<dyn Executor>,
     scratch: ScratchPool,
+    store: Option<Arc<ProfileStore>>,
 }
 
 impl std::fmt::Debug for MoodEngine {
@@ -394,6 +427,26 @@ impl MoodEngine {
     /// (different configs against the same adversary) without retraining.
     pub fn shared_suite(&self) -> Arc<AttackSuite> {
         Arc::clone(&self.suite)
+    }
+
+    /// The profile store the suite was trained through, when the engine
+    /// was built with one ([`EngineBuilder::paper_default`] and
+    /// [`EngineBuilder::paper_default_with_store`] always attach it).
+    /// Hand it to [`EngineBuilder::paper_default_with_store`] to train a
+    /// sibling engine over the same background for free.
+    pub fn profile_store(&self) -> Option<Arc<ProfileStore>> {
+        self.store.as_ref().map(Arc::clone)
+    }
+
+    /// Hit/miss/build counters of the engine's profile store — the
+    /// observable proof that retraining over an already-seen background
+    /// dataset builds zero additional profiles. All zeros when the
+    /// engine was built without a store.
+    pub fn profile_store_counters(&self) -> StoreCounters {
+        self.store
+            .as_ref()
+            .map(|s| s.counters())
+            .unwrap_or_default()
     }
 
     /// The base LPPM set `L`.
@@ -1075,6 +1128,49 @@ mod tests {
             engine.raster_cache_hits() > 0,
             "raster cache never hit: raw-trace rasterizations not shared"
         );
+    }
+
+    #[test]
+    fn sibling_engine_trains_for_free_through_the_shared_store() {
+        let (bg, test) = mini_world();
+        let first = MoodEngine::paper_default(&bg);
+        let store = first
+            .profile_store()
+            .expect("paper_default always attaches a store");
+        let cold = first.profile_store_counters();
+        assert!(cold.misses > 0 && cold.profile_builds > 0);
+        // POI and PIT share one extraction pass even inside one suite.
+        assert!(cold.hits > 0, "PIT must reuse POI's profile extraction");
+
+        let second = EngineBuilder::paper_default_with_store(&bg, store)
+            .build()
+            .unwrap();
+        let warm = second.profile_store_counters();
+        assert_eq!(
+            warm.profile_builds, cold.profile_builds,
+            "second engine over the same background must build zero profiles"
+        );
+        assert_eq!(warm.misses, cold.misses);
+        assert!(warm.hits > cold.hits);
+
+        // Shared profiles must not change verdicts.
+        let trace = test.iter().next().unwrap();
+        assert_eq!(first.protect_user(trace), second.protect_user(trace));
+    }
+
+    #[test]
+    fn engines_without_a_store_report_zero_counters() {
+        let (bg, _) = mini_world();
+        let suite = Arc::new(AttackSuite::train(
+            &[&ApAttack::paper_default() as &dyn Attack],
+            &bg,
+        ));
+        let engine = EngineBuilder::new(suite)
+            .lppms(vec![Arc::new(GeoI::paper_default())])
+            .build()
+            .unwrap();
+        assert!(engine.profile_store().is_none());
+        assert_eq!(engine.profile_store_counters(), StoreCounters::default());
     }
 
     #[test]

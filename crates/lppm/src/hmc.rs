@@ -431,7 +431,7 @@ mod tests {
         assert_ne!(decoy, UserId::new(1));
         // every protected record lands in a decoy-occupied cell
         let decoy_cells: std::collections::BTreeSet<CellId> =
-            decoy_hm.cells().iter().map(|e| e.0).collect();
+            decoy_hm.keys().iter().copied().collect();
         for r in p.records() {
             assert!(decoy_cells.contains(&grid.cell_of(&r.point())));
         }

@@ -77,9 +77,15 @@ pub fn jensen_shannon<K: Ord + Copy>(p: &BTreeMap<K, f64>, q: &BTreeMap<K, f64>)
 /// assert_eq!(topsoe(&p, &p).unwrap(), 0.0);
 /// ```
 pub fn topsoe<K: Ord + Copy>(p: &BTreeMap<K, f64>, q: &BTreeMap<K, f64>) -> Option<f64> {
-    let pv: Vec<(K, f64)> = p.iter().map(|(&k, &v)| (k, v)).collect();
-    let qv: Vec<(K, f64)> = q.iter().map(|(&k, &v)| (k, v)).collect();
-    topsoe_sorted(&pv, &qv)
+    // Delegate to the one SoA kernel: split keys and masses, totals in
+    // the same per-entry order the sorted adapters use.
+    let pk: Vec<K> = p.keys().copied().collect();
+    let pw: Vec<f64> = p.values().copied().collect();
+    let qk: Vec<K> = q.keys().copied().collect();
+    let qw: Vec<f64> = q.values().copied().collect();
+    let tp: f64 = pw.iter().sum();
+    let tq: f64 = qw.iter().sum();
+    topsoe_soa_bounded(&pk, &pw, tp, &qk, &qw, tq, f64::INFINITY)
 }
 
 /// [`topsoe`] over sparse distributions stored as key-sorted slices —
@@ -128,6 +134,155 @@ pub fn topsoe_sorted_bounded<K: Ord + Copy>(
 /// the caller's own accumulation order); all verdict paths must source
 /// totals the same way to stay bit-consistent.
 pub fn topsoe_sorted_bounded_with_totals<K: Ord + Copy>(
+    p: &[(K, f64)],
+    tp: f64,
+    q: &[(K, f64)],
+    tq: f64,
+    bound: f64,
+) -> Option<f64> {
+    // Split the pair slices and delegate to the SoA kernel — the pair
+    // form is the compatibility adapter, not a second implementation.
+    let pk: Vec<K> = p.iter().map(|e| e.0).collect();
+    let pw: Vec<f64> = p.iter().map(|e| e.1).collect();
+    let qk: Vec<K> = q.iter().map(|e| e.0).collect();
+    let qw: Vec<f64> = q.iter().map(|e| e.1).collect();
+    topsoe_soa_bounded(&pk, &pw, tp, &qk, &qw, tq, bound)
+}
+
+/// How many one-sided keys are accumulated between best-bound checks in
+/// [`topsoe_soa_bounded`]. Per-chunk checks are exactly as selective as
+/// per-key checks because every term is clamped non-negative, so the
+/// partial sum is monotone: it crosses `bound` inside a chunk iff it is
+/// still above `bound` at the chunk boundary.
+const ONE_SIDED_CHUNK: usize = 32;
+
+/// [`topsoe_sorted_bounded_with_totals`] over **structure-of-arrays**
+/// slices (keys and masses split) — the production kernel every other
+/// Topsoe entry point delegates to.
+///
+/// Two phases per merge step. The *align* phase is the only branchy
+/// part: it walks both key slices and carves the union into one-sided
+/// runs (keys present in exactly one distribution) and matched keys.
+/// The *accumulate* phase is branch-light: a one-sided key `k` with
+/// normalized mass `v > 0` contributes `v·ln((2v)/(v+0)) = v·ln 2`, and
+/// `(2v)/v` is **exactly** `2.0` in IEEE-754 whenever `2v` is finite
+/// (doubling is exact), so the whole run reduces to a fused
+/// multiply–accumulate by the `LN_2` constant with no `ln` call — the
+/// logarithm only survives on matched keys, which are the rare case for
+/// sparse mobility profiles. Term values, accumulation order and prune
+/// outcomes are bit-identical to the scalar pair walk (the proptests
+/// below gate this), per-chunk bound checks included (see
+/// [`ONE_SIDED_CHUNK`]).
+pub fn topsoe_soa_bounded<K: Ord + Copy>(
+    pk: &[K],
+    pw: &[f64],
+    tp: f64,
+    qk: &[K],
+    qw: &[f64],
+    tq: f64,
+    bound: f64,
+) -> Option<f64> {
+    debug_assert_eq!(pk.len(), pw.len());
+    debug_assert_eq!(qk.len(), qw.len());
+    if tp <= 0.0 || tq <= 0.0 || !tp.is_finite() || !tq.is_finite() {
+        return None;
+    }
+    let mut sum = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < pk.len() && j < qk.len() {
+        match pk[i].cmp(&qk[j]) {
+            std::cmp::Ordering::Less => {
+                // Align: extend the p-only run as far as it goes.
+                let start = i;
+                i += 1;
+                while i < pk.len() && pk[i] < qk[j] {
+                    i += 1;
+                }
+                if !accumulate_one_sided(&pw[start..i], tp, bound, &mut sum) {
+                    return None;
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                let start = j;
+                j += 1;
+                while j < qk.len() && qk[j] < pk[i] {
+                    j += 1;
+                }
+                if !accumulate_one_sided(&qw[start..j], tq, bound, &mut sum) {
+                    return None;
+                }
+            }
+            std::cmp::Ordering::Equal => {
+                // Matched key: the only place the logarithm survives.
+                let pv = (pw[i] / tp).max(0.0);
+                let qv = (qw[j] / tq).max(0.0);
+                let mut term = 0.0;
+                if pv > 0.0 {
+                    term += pv * ((2.0 * pv) / (pv + qv)).ln();
+                }
+                if qv > 0.0 {
+                    term += qv * ((2.0 * qv) / (pv + qv)).ln();
+                }
+                sum += term.max(0.0);
+                if sum > bound {
+                    return None;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if !accumulate_one_sided(&pw[i..], tp, bound, &mut sum) {
+        return None;
+    }
+    if !accumulate_one_sided(&qw[j..], tq, bound, &mut sum) {
+        return None;
+    }
+    Some(sum)
+}
+
+/// Accumulates a one-sided run into `sum`, chunked bound checks
+/// included; returns `false` when the partial sum exceeds `bound`.
+///
+/// Per key: `v = (w/t).max(0)` contributes `v·LN_2` (see the kernel
+/// docs for why this equals `v·ln((2v)/v)` bit-for-bit). The overflow
+/// guard keeps even pathological masses exact: when `2v` rounds to
+/// infinity the scalar walk's term is `v·ln(∞) = ∞`, and so is ours.
+#[inline]
+fn accumulate_one_sided(ws: &[f64], t: f64, bound: f64, sum: &mut f64) -> bool {
+    for chunk in ws.chunks(ONE_SIDED_CHUNK) {
+        for &w in chunk {
+            let v = (w / t).max(0.0);
+            let term = if v > 0.0 {
+                if 2.0 * v < f64::INFINITY {
+                    v * LN_2
+                } else if v < f64::INFINITY {
+                    // finite v whose doubling overflows: the scalar walk
+                    // computes v·ln(∞) = ∞
+                    f64::INFINITY
+                } else {
+                    // v = ∞: the scalar walk's (2v)/(v) is ∞/∞ = NaN and
+                    // `term.max(0.0)` clamps the NaN term to zero
+                    0.0
+                }
+            } else {
+                0.0
+            };
+            *sum += term.max(0.0);
+        }
+        if *sum > bound {
+            return false;
+        }
+    }
+    true
+}
+
+/// The scalar pair-walk the SoA kernel replaced, kept verbatim as the
+/// bit-identity reference: `topsoe_soa_bounded` must reproduce its
+/// result **to the bit** for every input, pruned or not (the proptests
+/// below gate this).
+#[cfg(test)]
+fn topsoe_pairs_reference<K: Ord + Copy>(
     p: &[(K, f64)],
     tp: f64,
     q: &[(K, f64)],
@@ -322,6 +477,26 @@ mod tests {
     }
 
     #[test]
+    fn ln_of_two_is_the_ln2_constant() {
+        // The SoA kernel's one-sided fast path rests on `(2v)/v == 2.0`
+        // (exact IEEE doubling) and `ln(2.0) == LN_2`; pin the latter.
+        assert_eq!(2.0f64.ln().to_bits(), LN_2.to_bits());
+    }
+
+    #[test]
+    fn soa_kernel_handles_extreme_masses() {
+        // Masses large enough that 2v overflows: the scalar walk yields
+        // an infinite term and so must the fast path's guard.
+        let huge = f64::MAX / 2.0;
+        let p: Vec<(u32, f64)> = vec![(0, huge)];
+        let q: Vec<(u32, f64)> = vec![(1, 1.0)];
+        // tp supplied as a tiny total drives v = huge/tiny toward ∞
+        let got = topsoe_sorted_bounded_with_totals(&p, 1e-300, &q, 1.0, f64::INFINITY);
+        let want = topsoe_pairs_reference(&p, 1e-300, &q, 1.0, f64::INFINITY);
+        assert_eq!(got.map(f64::to_bits), want.map(f64::to_bits));
+    }
+
+    #[test]
     fn sorted_rejects_empty() {
         let p: Vec<(u32, f64)> = vec![(0, 1.0)];
         let empty: Vec<(u32, f64)> = vec![];
@@ -339,6 +514,13 @@ mod proptests {
 
     fn arb_dist() -> impl Strategy<Value = BTreeMap<u32, f64>> {
         proptest::collection::btree_map(0u32..20, 0.01f64..10.0, 1..15)
+    }
+
+    /// Like [`arb_dist`] but also generating the empty distribution and
+    /// single-key distributions, the SoA kernel's edge cases (rejection,
+    /// all-one-sided walks).
+    fn arb_dist_edgy() -> impl Strategy<Value = BTreeMap<u32, f64>> {
+        proptest::collection::btree_map(0u32..20, 0.01f64..10.0, 0..15)
     }
 
     proptest! {
@@ -372,6 +554,52 @@ mod proptests {
             let walk = topsoe(&p, &q).unwrap();
             let reference = topsoe_reference(&p, &q).unwrap();
             prop_assert!((walk - reference).abs() < 1e-9, "{walk} vs {reference}");
+        }
+
+        // The SoA gate: the run-based kernel must reproduce the scalar
+        // pair walk bit-for-bit — same Some/None outcome under any
+        // bound, same score bits — across empty, single-key, disjoint
+        // and overlapping supports.
+        #[test]
+        fn soa_kernel_is_bit_identical_to_scalar_walk(
+            p in arb_dist_edgy(),
+            q in arb_dist_edgy(),
+            bound_frac in -0.5f64..1.5,
+        ) {
+            let p: Vec<(u32, f64)> = p.into_iter().collect();
+            let q: Vec<(u32, f64)> = q.into_iter().collect();
+            let tp: f64 = p.iter().map(|e| e.1).sum();
+            let tq: f64 = q.iter().map(|e| e.1).sum();
+            // bound: infinite (negative draw), or a fraction of the max
+            // divergence so pruned and unpruned outcomes are exercised
+            let bound = if bound_frac < 0.0 {
+                f64::INFINITY
+            } else {
+                bound_frac * 2.0 * LN_2
+            };
+            let reference = topsoe_pairs_reference(&p, tp, &q, tq, bound);
+            let soa = topsoe_sorted_bounded_with_totals(&p, tp, &q, tq, bound);
+            prop_assert_eq!(
+                soa.map(f64::to_bits),
+                reference.map(f64::to_bits),
+                "SoA diverged from scalar walk (bound {})", bound
+            );
+        }
+
+        // Disjoint supports are the all-one-sided extreme: every key
+        // takes the ln-free fast path and the result must still be the
+        // exact maximum the scalar walk produces.
+        #[test]
+        fn soa_kernel_disjoint_supports(p in arb_dist(), q in arb_dist()) {
+            let p: Vec<(u32, f64)> = p.into_iter().map(|(k, v)| (2 * k, v)).collect();
+            let q: Vec<(u32, f64)> = q.into_iter().map(|(k, v)| (2 * k + 1, v)).collect();
+            let tp: f64 = p.iter().map(|e| e.1).sum();
+            let tq: f64 = q.iter().map(|e| e.1).sum();
+            let reference = topsoe_pairs_reference(&p, tp, &q, tq, f64::INFINITY);
+            let soa = topsoe_sorted_bounded_with_totals(&p, tp, &q, tq, f64::INFINITY);
+            prop_assert_eq!(soa.map(f64::to_bits), reference.map(f64::to_bits));
+            let d = soa.unwrap();
+            prop_assert!((d - 2.0 * LN_2).abs() < 1e-9, "disjoint should be max: {d}");
         }
 
         // The pruned-matching gate: running an arg-min scan over

@@ -11,12 +11,15 @@ use crate::divergence;
 /// Counts are kept raw; all comparisons normalize internally, so heatmaps
 /// built from traces of different lengths compare correctly.
 ///
-/// Internally the counts live in a **sorted vector** of `(cell, count)`
-/// pairs rather than a `BTreeMap`: the candidate hot path rebuilds one
-/// heatmap per scored trace, and a flat vector can be cleared and
+/// Internally the counts live in **structure-of-arrays** form — a
+/// sorted slice of cells and a parallel slice of `f64` counts — rather
+/// than a `BTreeMap` or a pair vector: the candidate hot path rebuilds
+/// one heatmap per scored trace, and flat vectors can be cleared and
 /// refilled without a single node allocation
-/// ([`Heatmap::rebuild_from_cells`]), while lookups stay `O(log n)` by
-/// binary search and comparisons become allocation-free merge walks.
+/// ([`Heatmap::rebuild_from_cells`]), lookups stay `O(log n)` by binary
+/// search on the key slice alone, and the Topsoe comparison streams the
+/// weight slices straight through the branch-light SoA kernel
+/// ([`divergence::topsoe_soa_bounded`]).
 ///
 /// # Examples
 ///
@@ -36,12 +39,36 @@ use crate::divergence;
 /// assert_eq!(hm.topsoe(&hm), Some(0.0));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 #[serde(from = "HeatmapRepr", into = "HeatmapRepr")]
 pub struct Heatmap {
-    /// `(cell, count)` pairs sorted by cell, each cell at most once.
-    cells: Vec<(CellId, f64)>,
+    /// Distinct cells, sorted ascending (row-major), each at most once.
+    keys: Vec<CellId>,
+    /// Count of `keys[i]` at index `i`.
+    weights: Vec<f64>,
     total: f64,
+    /// Reusable buffers for [`Heatmap::accumulate`]; never part of the
+    /// observable state (equality and serialization go through
+    /// [`HeatmapRepr`], which ignores it).
+    scratch: RebuildScratch,
+}
+
+/// Scratch buffers of the accumulate path: collapsed `(packed cell,
+/// count)` runs, plus a dense count table with its touched-bin list for
+/// the counting fast path.
+#[derive(Debug, Clone, Default)]
+struct RebuildScratch {
+    runs: Vec<(u64, f64)>,
+    bins: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+/// Observable state only: two heatmaps compare equal iff their cells,
+/// counts and total match — scratch buffers are invisible.
+impl PartialEq for Heatmap {
+    fn eq(&self, other: &Self) -> bool {
+        self.keys == other.keys && self.weights == other.weights && self.total == other.total
+    }
 }
 
 /// Serialized form of [`Heatmap`]: cells as a list of pairs (JSON map keys
@@ -53,7 +80,9 @@ struct HeatmapRepr {
 
 impl From<Heatmap> for HeatmapRepr {
     fn from(h: Heatmap) -> Self {
-        HeatmapRepr { cells: h.cells }
+        HeatmapRepr {
+            cells: h.keys.into_iter().zip(h.weights).collect(),
+        }
     }
 }
 
@@ -101,35 +130,92 @@ impl Heatmap {
     /// cells: counts are whole numbers, so accumulation order cannot
     /// change the stored values.
     pub fn rebuild_from_cells(&mut self, cells: &[CellId]) {
-        self.cells.clear();
+        self.keys.clear();
+        self.weights.clear();
         self.total = 0.0;
         self.accumulate(cells.iter().copied());
     }
 
+    /// Largest dense count table [`Heatmap::accumulate`] will allocate
+    /// (bins = grid extent actually touched). 64Ki bins cover a
+    /// 256×256 grid — far beyond the paper's city-scale grids — at a
+    /// worst-case 512 KiB per scratch arena; larger extents fall back
+    /// to the sort path.
+    const DENSE_BINS_MAX: u64 = 1 << 16;
+
     /// Accumulates a cell sequence into the empty map: collapse
-    /// consecutive runs (dwells make them common), sort, then merge
-    /// duplicates in place.
+    /// consecutive runs (dwells make them common), then count runs into
+    /// a dense per-cell table and emit the touched bins in row-major
+    /// order (equals ascending [`CellId`] order). Grids too large for
+    /// the table take a sort-and-merge fallback over the packed runs.
+    ///
+    /// Either path stores exactly what the original
+    /// collapse → stable-sort → merge produced: counts are whole
+    /// numbers, so no regrouping of the additions can change a stored
+    /// value, and both emit orders are ascending cell order.
     fn accumulate<I: Iterator<Item = CellId>>(&mut self, cells: I) {
-        debug_assert!(self.cells.is_empty());
+        debug_assert!(self.keys.is_empty());
+        let runs = &mut self.scratch.runs;
+        runs.clear();
+        let (mut max_row, mut max_col) = (0u32, 0u32);
         for c in cells {
             self.total += 1.0;
-            if let Some(last) = self.cells.last_mut() {
-                if last.0 == c {
+            max_row = max_row.max(c.row);
+            max_col = max_col.max(c.col);
+            let key = pack_cell(c);
+            if let Some(last) = runs.last_mut() {
+                if last.0 == key {
                     last.1 += 1.0;
                     continue;
                 }
             }
-            self.cells.push((c, 1.0));
+            runs.push((key, 1.0));
         }
-        self.cells.sort_by_key(|e| e.0);
-        self.cells.dedup_by(|cur, kept| {
-            if cur.0 == kept.0 {
-                kept.1 += cur.1;
-                true
-            } else {
-                false
+        if runs.is_empty() {
+            return;
+        }
+        let stride = u64::from(max_col) + 1;
+        let size = (u64::from(max_row) + 1) * stride;
+        if size <= Self::DENSE_BINS_MAX {
+            // Counting path: counts ≥ 1, so a zero bin means untouched.
+            let bins = &mut self.scratch.bins;
+            if bins.len() < size as usize {
+                bins.resize(size as usize, 0.0);
             }
-        });
+            let touched = &mut self.scratch.touched;
+            touched.clear();
+            for &(key, count) in runs.iter() {
+                let idx = ((key >> 32) * stride + (key & 0xffff_ffff)) as usize;
+                if bins[idx] == 0.0 {
+                    touched.push(idx as u32);
+                }
+                bins[idx] += count;
+            }
+            touched.sort_unstable();
+            self.keys.reserve(touched.len());
+            self.weights.reserve(touched.len());
+            for &idx in touched.iter() {
+                self.keys.push(CellId {
+                    row: (u64::from(idx) / stride) as u32,
+                    col: (u64::from(idx) % stride) as u32,
+                });
+                self.weights.push(std::mem::take(&mut bins[idx as usize]));
+            }
+        } else {
+            runs.sort_unstable_by_key(|r| r.0);
+            self.keys.reserve(runs.len());
+            self.weights.reserve(runs.len());
+            let mut last_key: Option<u64> = None;
+            for &(key, count) in runs.iter() {
+                if last_key == Some(key) {
+                    *self.weights.last_mut().expect("keys and weights align") += count;
+                } else {
+                    self.keys.push(unpack_cell(key));
+                    self.weights.push(count);
+                    last_key = Some(key);
+                }
+            }
+        }
     }
 
     /// Adds `weight` mass to `cell`.
@@ -142,16 +228,29 @@ impl Heatmap {
             weight.is_finite() && weight >= 0.0,
             "weight must be non-negative"
         );
-        match self.cells.binary_search_by(|e| e.0.cmp(&cell)) {
-            Ok(i) => self.cells[i].1 += weight,
-            Err(i) => self.cells.insert(i, (cell, weight)),
+        match self.keys.binary_search(&cell) {
+            Ok(i) => self.weights[i] += weight,
+            Err(i) => {
+                self.keys.insert(i, cell);
+                self.weights.insert(i, weight);
+            }
         }
         self.total += weight;
     }
 
+    /// The distinct cells, sorted ascending (row-major).
+    pub fn keys(&self) -> &[CellId] {
+        &self.keys
+    }
+
+    /// The per-cell counts, parallel to [`Heatmap::keys`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
     /// The raw per-cell counts as `(cell, count)` pairs, sorted by cell.
-    pub fn cells(&self) -> &[(CellId, f64)] {
-        &self.cells
+    pub fn cell_entries(&self) -> impl Iterator<Item = (CellId, f64)> + '_ {
+        self.keys.iter().copied().zip(self.weights.iter().copied())
     }
 
     /// Total mass (= number of records for trace-built heatmaps).
@@ -161,7 +260,7 @@ impl Heatmap {
 
     /// Number of distinct non-empty cells.
     pub fn cell_count(&self) -> usize {
-        self.cells.len()
+        self.keys.len()
     }
 
     /// `true` when the heatmap holds no mass.
@@ -171,9 +270,9 @@ impl Heatmap {
 
     /// Raw count of `cell` (0 when absent).
     pub fn count(&self, cell: CellId) -> f64 {
-        self.cells
-            .binary_search_by(|e| e.0.cmp(&cell))
-            .map_or(0.0, |i| self.cells[i].1)
+        self.keys
+            .binary_search(&cell)
+            .map_or(0.0, |i| self.weights[i])
     }
 
     /// Probability mass of `cell` (0 when absent or the map is empty).
@@ -187,7 +286,7 @@ impl Heatmap {
     /// The `k` hottest cells with their counts, descending; ties broken by
     /// cell order so the result is deterministic.
     pub fn top_cells(&self, k: usize) -> Vec<(CellId, f64)> {
-        let mut v = self.cells.clone();
+        let mut v: Vec<(CellId, f64)> = self.cell_entries().collect();
         Self::rank(&mut v);
         v.truncate(k);
         v
@@ -196,7 +295,7 @@ impl Heatmap {
     /// All cells sorted hottest-first (the full ranking HMC's
     /// rank-matching uses).
     pub fn ranked_cells(&self) -> Vec<(CellId, f64)> {
-        self.top_cells(self.cells.len())
+        self.top_cells(self.keys.len())
     }
 
     /// Writes the full hottest-first ranking into `out` (cleared first),
@@ -204,7 +303,7 @@ impl Heatmap {
     /// [`Heatmap::ranked_cells`].
     pub fn ranked_cells_into(&self, out: &mut Vec<(CellId, f64)>) {
         out.clear();
-        out.extend_from_slice(&self.cells);
+        out.extend(self.cell_entries());
         Self::rank(out);
     }
 
@@ -226,10 +325,12 @@ impl Heatmap {
     /// [`divergence::topsoe_sorted_bounded`]). A returned score is
     /// bit-identical to the unpruned [`Heatmap::topsoe`].
     pub fn topsoe_bounded(&self, other: &Heatmap, bound: f64) -> Option<f64> {
-        divergence::topsoe_sorted_bounded_with_totals(
-            &self.cells,
+        divergence::topsoe_soa_bounded(
+            &self.keys,
+            &self.weights,
             self.total,
-            &other.cells,
+            &other.keys,
+            &other.weights,
             other.total,
             bound,
         )
@@ -238,32 +339,53 @@ impl Heatmap {
     /// Element-wise sum of two heatmaps (used to pool background
     /// knowledge).
     pub fn merged(&self, other: &Heatmap) -> Heatmap {
-        let mut cells = Vec::with_capacity(self.cells.len() + other.cells.len());
+        let cap = self.keys.len() + other.keys.len();
+        let mut keys = Vec::with_capacity(cap);
+        let mut weights = Vec::with_capacity(cap);
         let (mut i, mut j) = (0, 0);
-        while i < self.cells.len() && j < other.cells.len() {
-            let (a, b) = (self.cells[i], other.cells[j]);
-            match a.0.cmp(&b.0) {
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
                 std::cmp::Ordering::Less => {
-                    cells.push(a);
+                    keys.push(self.keys[i]);
+                    weights.push(self.weights[i]);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    cells.push(b);
+                    keys.push(other.keys[j]);
+                    weights.push(other.weights[j]);
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    cells.push((a.0, a.1 + b.1));
+                    keys.push(self.keys[i]);
+                    weights.push(self.weights[i] + other.weights[j]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        cells.extend_from_slice(&self.cells[i..]);
-        cells.extend_from_slice(&other.cells[j..]);
+        keys.extend_from_slice(&self.keys[i..]);
+        weights.extend_from_slice(&self.weights[i..]);
+        keys.extend_from_slice(&other.keys[j..]);
+        weights.extend_from_slice(&other.weights[j..]);
         Heatmap {
-            cells,
+            keys,
+            weights,
             total: self.total + other.total,
+            scratch: RebuildScratch::default(),
         }
+    }
+}
+
+/// Packs a cell into a row-major `u64` key: `row` in the high half,
+/// `col` in the low half, so `u64` order equals [`CellId`] order.
+fn pack_cell(c: CellId) -> u64 {
+    (u64::from(c.row) << 32) | u64::from(c.col)
+}
+
+fn unpack_cell(key: u64) -> CellId {
+    CellId {
+        row: (key >> 32) as u32,
+        col: key as u32,
     }
 }
 
@@ -346,10 +468,11 @@ mod tests {
         for c in [5u32, 1, 3, 1, 5, 2] {
             hm.add(CellId { row: c, col: 0 }, 1.0);
         }
-        let cells = hm.cells();
-        assert_eq!(cells.len(), 4);
-        assert!(cells.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(hm.keys().len(), 4);
+        assert_eq!(hm.keys().len(), hm.weights().len());
+        assert!(hm.keys().windows(2).all(|w| w[0] < w[1]));
         assert_eq!(hm.count(CellId { row: 1, col: 0 }), 2.0);
+        assert_eq!(hm.cell_entries().count(), 4);
     }
 
     #[test]
@@ -372,6 +495,49 @@ mod tests {
         // and again, exercising the warmed buffer
         reused.rebuild_from_cells(&cells);
         assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn dense_and_sorted_accumulate_paths_agree() {
+        // Cells beyond the dense-table extent force the sort fallback;
+        // the same sequence shifted into a small extent takes the
+        // counting path. Both must produce identical counts.
+        let seq: Vec<u32> = vec![5, 5, 1, 3, 1, 5, 2, 2, 2, 0, 3];
+        let small: Vec<CellId> = seq.iter().map(|&r| CellId { row: r, col: r }).collect();
+        let large: Vec<CellId> = seq
+            .iter()
+            .map(|&r| CellId {
+                row: r + 500_000,
+                col: r + 500_000,
+            })
+            .collect();
+        let mut hm_small = Heatmap::new();
+        hm_small.rebuild_from_cells(&small);
+        let mut hm_large = Heatmap::new();
+        hm_large.rebuild_from_cells(&large);
+        assert_eq!(hm_small.total(), hm_large.total());
+        assert_eq!(hm_small.cell_count(), hm_large.cell_count());
+        for ((ks, ws), (kl, wl)) in hm_small.cell_entries().zip(hm_large.cell_entries()) {
+            assert_eq!(ks.row + 500_000, kl.row);
+            assert_eq!(ws.to_bits(), wl.to_bits());
+        }
+        // and each agrees with the incremental reference
+        let mut by_add = Heatmap::new();
+        for &c in &small {
+            by_add.add(c, 1.0);
+        }
+        assert_eq!(hm_small, by_add);
+    }
+
+    #[test]
+    fn scratch_buffers_are_invisible_to_equality() {
+        let cells = [CellId { row: 1, col: 2 }, CellId { row: 1, col: 2 }];
+        let mut rebuilt = Heatmap::new();
+        rebuilt.rebuild_from_cells(&cells);
+        let mut fresh = Heatmap::new();
+        fresh.add(CellId { row: 1, col: 2 }, 2.0);
+        // rebuilt carries warm scratch buffers, fresh does not
+        assert_eq!(rebuilt, fresh);
     }
 
     #[test]

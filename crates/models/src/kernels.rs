@@ -1,0 +1,275 @@
+//! SoA distance kernels for the attack hot loops.
+//!
+//! The POI and PIT attacks bottom out in the same scan: for each
+//! anonymous centroid, find the nearest candidate centroid under the
+//! equirectangular [`GeoPoint::approx_distance`], multiply by a weight,
+//! and accumulate with best-bound pruning. The reference form walks a
+//! `&[Poi]` slice and calls `approx_distance` per pair — every iteration
+//! reloads a whole [`Poi`] struct (centroid + counts + dwell) to use two
+//! of its fields, and pays a `sqrt` and a radius multiply per *pair*.
+//!
+//! [`CentroidSoa`] splits candidate centroids into parallel `lat`/`lng`
+//! arrays so the scan streams two dense f64 slices, and the kernel is
+//! two-phase:
+//!
+//! 1. **reduce** — the branchy part: a min-reduction over the *scaled
+//!    squared* distances `dx² + dy²` (the monotone core of
+//!    `approx_distance`);
+//! 2. **finish** — one `sqrt` and one `EARTH_RADIUS_M` multiply applied
+//!    to the minimum only.
+//!
+//! Hoisting `fl(R · fl(√s))` out of the reduction is **bit-exact**:
+//! `√` and multiplication by a positive constant are weakly monotone
+//! under round-to-nearest, so the minimum of the mapped values equals
+//! the mapped minimum. The per-pair `cos(mean_lat)` cannot be hoisted
+//! without changing bits (the mean couples both endpoints), so it stays
+//! in the loop — the win is the struct-of-arrays traversal and the
+//! `sqrt`s that no longer happen per pair. Proptests in this module pin
+//! bit-identity against the reference fold.
+
+use serde::{Deserialize, Serialize};
+
+use mood_geo::{GeoPoint, EARTH_RADIUS_M};
+
+use crate::Poi;
+
+/// Candidate centroids in struct-of-arrays form: parallel `lat` / `lng`
+/// slices, built once per trained profile and scanned by every verdict.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CentroidSoa {
+    lats: Vec<f64>,
+    lngs: Vec<f64>,
+}
+
+impl CentroidSoa {
+    /// An empty centroid set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the SoA form of `pois`' centroids, in slice order.
+    pub fn from_pois(pois: &[Poi]) -> Self {
+        let mut soa = Self::with_capacity(pois.len());
+        for poi in pois {
+            soa.push(&poi.centroid);
+        }
+        soa
+    }
+
+    /// An empty set with room for `n` centroids.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            lats: Vec::with_capacity(n),
+            lngs: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one centroid.
+    pub fn push(&mut self, point: &GeoPoint) {
+        self.lats.push(point.lat());
+        self.lngs.push(point.lng());
+    }
+
+    /// Number of centroids.
+    pub fn len(&self) -> usize {
+        self.lats.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lats.is_empty()
+    }
+
+    /// Distance in meters from `(lat, lng)` to the nearest centroid of
+    /// the set, bit-identical to folding
+    /// [`GeoPoint::approx_distance`] over the centroids with `f64::min`.
+    /// `f64::INFINITY` for an empty set.
+    pub fn nearest_approx_distance(&self, lat: f64, lng: f64) -> f64 {
+        // Phase 1: min-reduce the scaled squared distances.
+        let mut best = f64::INFINITY;
+        for (&clat, &clng) in self.lats.iter().zip(self.lngs.iter()) {
+            // Verbatim `GeoPoint::approx_distance` core, minus the
+            // monotone `sqrt`/radius tail.
+            let mean_lat = ((lat + clat) / 2.0).to_radians();
+            let dx = (clng - lng).to_radians() * mean_lat.cos();
+            let dy = (clat - lat).to_radians();
+            let s = dx * dx + dy * dy;
+            if s < best {
+                best = s;
+            }
+        }
+        // Phase 2: one sqrt + one multiply on the winner only.
+        EARTH_RADIUS_M * best.sqrt()
+    }
+}
+
+/// Weighted nearest-centroid accumulation with exact best-bound pruning
+/// — the shared core of the POI profile distance and the PIT stationary
+/// half.
+///
+/// For each anonymous POI `i`, adds `weights[i] ×` the distance from
+/// `anon[i]` to the nearest centroid of `cand`; after each term, prunes
+/// (returns `None`) when `prune_scale × partial_sum > bound`. POI passes
+/// `prune_scale = 1.0` (the sum *is* the score); PIT passes `0.5`
+/// (its score is `0.5 × sum + 0.5 × proximity`, and the proximity half
+/// is non-negative, so `0.5 × partial` exceeding the bound already
+/// proves the full score would). Terms are non-negative, so partial
+/// sums are monotone and pruning is exact.
+///
+/// An empty `cand` short-circuits to `Some(f64::INFINITY)` without
+/// pruning, exactly like the reference scans. A returned sum is
+/// bit-identical to the unbounded reference walk.
+pub fn weighted_nearest_bounded(
+    anon: &[Poi],
+    weights: &[f64],
+    cand: &CentroidSoa,
+    bound: Option<f64>,
+    prune_scale: f64,
+) -> Option<f64> {
+    if cand.is_empty() {
+        return Some(f64::INFINITY);
+    }
+    let mut sum = 0.0;
+    for (poi, &w) in anon.iter().zip(weights.iter()) {
+        let nearest = cand.nearest_approx_distance(poi.centroid.lat(), poi.centroid.lng());
+        sum += w * nearest;
+        if let Some(b) = bound {
+            if prune_scale * sum > b {
+                return None;
+            }
+        }
+    }
+    Some(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_trace::TimeDelta;
+    use proptest::prelude::*;
+
+    fn poi_at(lat: f64, lng: f64) -> Poi {
+        Poi {
+            centroid: GeoPoint::new(lat, lng).unwrap(),
+            record_count: 1,
+            visit_count: 1,
+            total_dwell: TimeDelta::from_hours(1),
+        }
+    }
+
+    /// The scalar reference: fold `approx_distance` with `f64::min`,
+    /// exactly as the attack inner loops do today.
+    fn reference_nearest(anon: &GeoPoint, cand: &[Poi]) -> f64 {
+        cand.iter()
+            .map(|c| anon.approx_distance(&c.centroid))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The scalar reference accumulation with per-term pruning
+    /// (`profile_distance_bounded` / `stats_prox_bounded`'s stationary
+    /// loop, parameterized by the prune scale).
+    fn reference_weighted(
+        anon: &[Poi],
+        weights: &[f64],
+        cand: &[Poi],
+        bound: Option<f64>,
+        prune_scale: f64,
+    ) -> Option<f64> {
+        if cand.is_empty() {
+            return Some(f64::INFINITY);
+        }
+        let mut sum = 0.0;
+        for (poi, &w) in anon.iter().zip(weights.iter()) {
+            let nearest = reference_nearest(&poi.centroid, cand);
+            sum += w * nearest;
+            if let Some(b) = bound {
+                if prune_scale * sum > b {
+                    return None;
+                }
+            }
+        }
+        Some(sum)
+    }
+
+    fn arb_pois() -> impl Strategy<Value = Vec<Poi>> {
+        proptest::collection::vec((45.0f64..47.0, 5.0f64..7.0), 0..12)
+            .prop_map(|pts| pts.into_iter().map(|(a, b)| poi_at(a, b)).collect())
+    }
+
+    #[test]
+    fn empty_set_is_infinitely_far() {
+        let soa = CentroidSoa::new();
+        assert_eq!(soa.nearest_approx_distance(46.0, 6.0), f64::INFINITY);
+        assert!(soa.is_empty());
+        assert_eq!(soa.len(), 0);
+    }
+
+    #[test]
+    fn empty_candidate_short_circuits_before_pruning() {
+        let anon = vec![poi_at(46.0, 6.0)];
+        let got = weighted_nearest_bounded(&anon, &[1.0], &CentroidSoa::new(), Some(0.0), 1.0);
+        assert_eq!(got, Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn single_centroid_matches_approx_distance() {
+        let a = GeoPoint::new(46.2, 6.1).unwrap();
+        let c = poi_at(46.21, 6.13);
+        let soa = CentroidSoa::from_pois(std::slice::from_ref(&c));
+        assert_eq!(
+            soa.nearest_approx_distance(a.lat(), a.lng()).to_bits(),
+            a.approx_distance(&c.centroid).to_bits()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn soa_nearest_is_bit_identical_to_reference_fold(
+            anon in (45.0f64..47.0, 5.0f64..7.0),
+            cand in arb_pois(),
+        ) {
+            let a = GeoPoint::new(anon.0, anon.1).unwrap();
+            let soa = CentroidSoa::from_pois(&cand);
+            prop_assert_eq!(
+                soa.nearest_approx_distance(a.lat(), a.lng()).to_bits(),
+                reference_nearest(&a, &cand).to_bits()
+            );
+        }
+
+        #[test]
+        fn weighted_kernel_is_bit_identical_to_reference(
+            anon in arb_pois(),
+            cand in arb_pois(),
+            weights in proptest::collection::vec(0.0f64..1.0, 12..13),
+            bound_frac in -0.5f64..1.5,
+            half in 0u8..2,
+        ) {
+            let prune_scale = if half == 1 { 0.5 } else { 1.0 };
+            let soa = CentroidSoa::from_pois(&cand);
+            let unbounded = weighted_nearest_bounded(
+                &anon, &weights, &soa, None, prune_scale,
+            );
+            prop_assert_eq!(
+                unbounded.map(f64::to_bits),
+                reference_weighted(&anon, &weights, &cand, None, prune_scale)
+                    .map(f64::to_bits)
+            );
+
+            // A negative draw means "no bound would ever prune";
+            // otherwise scale the unbounded score so the bound lands
+            // below, inside, or above the pruning range.
+            let bound = if bound_frac < 0.0 {
+                f64::INFINITY
+            } else {
+                let full = unbounded.unwrap();
+                if full.is_finite() { bound_frac * prune_scale * full } else { 1.0 }
+            };
+            prop_assert_eq!(
+                weighted_nearest_bounded(&anon, &weights, &soa, Some(bound), prune_scale)
+                    .map(f64::to_bits),
+                reference_weighted(&anon, &weights, &cand, Some(bound), prune_scale)
+                    .map(f64::to_bits)
+            );
+        }
+    }
+}

@@ -31,11 +31,13 @@
 
 pub mod divergence;
 mod heatmap;
+pub mod kernels;
 mod mmc;
 mod poi;
 mod raster;
 
 pub use heatmap::Heatmap;
+pub use kernels::CentroidSoa;
 pub use mmc::MarkovChain;
 pub use poi::{Poi, PoiExtractor, PoiProfile, Stay};
 pub use raster::TraceRaster;

@@ -1,7 +1,90 @@
 use serde::{Deserialize, Serialize};
 
-use mood_geo::GeoPoint;
+use mood_geo::{GeoPoint, EARTH_RADIUS_M};
 use mood_trace::{TimeDelta, Timestamp, Trace};
+
+/// Branch-exact fast form of `a.approx_distance(b) <= radius` for the
+/// per-record clustering loop, which otherwise pays one cosine (and one
+/// square root) per record.
+///
+/// `approx_distance` is `R·√(dx² + dy²)` with `dx = Δlng_rad·cos(φ̄)`
+/// and `dy = Δlat_rad`, where `φ̄` is the pair's mean latitude. Every
+/// `φ̄` the loop can form lies inside the trace's latitude range (a
+/// centroid of records is, and so is a mean with another record), so
+/// `cos(φ̄)` is bracketed by `[cos_lo, cos_hi]` computed once per trace
+/// from that range. Substituting the brackets gives squared-distance
+/// bounds that are valid through every IEEE rounding step (multiplying
+/// by a larger/smaller non-negative factor and rounding preserves
+/// order), and the squared thresholds carry a 1e-9 relative safety
+/// margin — orders of magnitude above both the accumulated rounding
+/// error and the 1e-12 slack added to the brackets themselves. A fast
+/// accept or reject therefore provably agrees with the exact
+/// comparison; only the sliver between the margins (a fraction of a
+/// percent of the radius for city-scale traces) evaluates
+/// `approx_distance` itself. The decision is bit-for-bit the one the
+/// plain comparison makes.
+struct RadiusTest {
+    radius: f64,
+    accept2: f64,
+    reject2: f64,
+    cos_hi: f64,
+    cos_lo: f64,
+}
+
+impl RadiusTest {
+    fn for_trace(radius: f64, trace: &Trace) -> Self {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for r in trace.records() {
+            let lat = r.point().lat();
+            lo = lo.min(lat);
+            hi = hi.max(lat);
+        }
+        let (cos_hi, cos_lo) = if lo.is_finite() {
+            let max_abs = lo.abs().max(hi.abs());
+            let min_abs = if lo <= 0.0 && hi >= 0.0 {
+                0.0
+            } else {
+                lo.abs().min(hi.abs())
+            };
+            (
+                (min_abs.to_radians().cos() * (1.0 + 1e-12)).min(1.0),
+                (max_abs.to_radians().cos() * (1.0 - 1e-12)).max(0.0),
+            )
+        } else {
+            (1.0, 0.0)
+        };
+        let scaled = radius / EARTH_RADIUS_M;
+        Self {
+            radius,
+            accept2: (scaled * (1.0 - 1e-9)).powi(2),
+            reject2: (scaled * (1.0 + 1e-9)).powi(2),
+            cos_hi,
+            cos_lo,
+        }
+    }
+
+    /// Whether `b` lies within the radius of the point `(a_lat, a_lng)`
+    /// — exactly the decision `GeoPoint::new(a_lat, a_lng)?
+    /// .approx_distance(b) <= radius` makes, but cosine-free outside
+    /// the ambiguous sliver.
+    #[inline]
+    fn contains(&self, a_lat: f64, a_lng: f64, b: &GeoPoint) -> bool {
+        let dy = (b.lat() - a_lat).to_radians();
+        let dlng = (b.lng() - a_lng).to_radians();
+        let dy2 = dy * dy;
+        let dx_hi = dlng * self.cos_hi;
+        if dx_hi * dx_hi + dy2 <= self.accept2 {
+            return true;
+        }
+        let dx_lo = dlng * self.cos_lo;
+        if dx_lo * dx_lo + dy2 > self.reject2 {
+            return false;
+        }
+        let a = GeoPoint::new(a_lat, a_lng).expect("mean of valid coordinates is valid");
+        a.approx_distance(b) <= self.radius
+    }
+}
 
 /// A *stay*: one contiguous dwell of a user inside a small area.
 ///
@@ -126,7 +209,7 @@ impl PoiExtractor {
     /// result is identical to the allocating form.
     pub fn extract_stays_into(&self, trace: &Trace, stays: &mut Vec<Stay>) {
         stays.clear();
-        let radius = self.diameter_m / 2.0;
+        let radius = RadiusTest::for_trace(self.diameter_m / 2.0, trace);
 
         // Running cluster state.
         let mut sum_lat = 0.0f64;
@@ -154,8 +237,7 @@ impl PoiExtractor {
 
         for r in trace.records() {
             if count > 0 {
-                let c = centroid(sum_lat, sum_lng, count);
-                if c.approx_distance(&r.point()) <= radius {
+                if radius.contains(sum_lat / count as f64, sum_lng / count as f64, &r.point()) {
                     sum_lat += r.point().lat();
                     sum_lng += r.point().lng();
                     count += 1;

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use mood_attacks::AttackSuite;
+use mood_attacks::{AttackSuite, ProfileStore, StoreCounters};
 use mood_core::{
     EngineBuilder, Executor, MoodConfig, MoodEngine, ProtectionReport, UserClass, UserProtection,
 };
@@ -187,6 +187,7 @@ pub struct EngineTemplate {
     suite: Arc<AttackSuite>,
     lppms: Arc<[Arc<dyn Lppm>]>,
     config: MoodConfig,
+    store: Option<Arc<ProfileStore>>,
 }
 
 impl std::fmt::Debug for EngineTemplate {
@@ -212,12 +213,16 @@ impl EngineTemplate {
         Self::from_engine(&engine)
     }
 
-    /// Shares an existing engine's suite, LPPM set and configuration.
+    /// Shares an existing engine's suite, LPPM set, configuration and —
+    /// when the engine was trained through one — its profile store, so
+    /// the service's per-request engines and its `/metrics` page share
+    /// the one set of trained profiles and its hit/miss counters.
     pub fn from_engine(engine: &MoodEngine) -> Self {
         Self {
             suite: engine.shared_suite(),
             lppms: engine.shared_lppms(),
             config: *engine.config(),
+            store: engine.profile_store(),
         }
     }
 
@@ -226,10 +231,14 @@ impl EngineTemplate {
     pub fn engine_for_on(&self, seed: u64, executor: Arc<dyn Executor>) -> MoodEngine {
         let mut config = self.config;
         config.seed = seed;
-        EngineBuilder::new(Arc::clone(&self.suite))
+        let mut builder = EngineBuilder::new(Arc::clone(&self.suite))
             .lppms_shared(Arc::clone(&self.lppms))
             .config(config)
-            .executor(executor)
+            .executor(executor);
+        if let Some(store) = &self.store {
+            builder = builder.profile_store(Arc::clone(store));
+        }
+        builder
             .build()
             .expect("template carries a validated configuration")
     }
@@ -248,6 +257,16 @@ impl EngineTemplate {
     /// Number of attacks in the trained suite.
     pub fn attack_count(&self) -> usize {
         self.suite.len()
+    }
+
+    /// Hit/miss/build counters of the template's profile store — the
+    /// training-reuse gauge behind `mood_serve_profile_store_total`.
+    /// All zeros when the template was built without a store.
+    pub fn profile_store_counters(&self) -> StoreCounters {
+        self.store
+            .as_ref()
+            .map(|s| s.counters())
+            .unwrap_or_default()
     }
 }
 

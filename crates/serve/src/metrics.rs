@@ -11,6 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use mood_attacks::StoreCounters;
+
 /// The endpoints the service distinguishes in its metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
@@ -242,11 +244,15 @@ impl ServerMetrics {
     }
 
     /// Renders the Prometheus text exposition for `GET /metrics`.
+    /// `profile_store` is the engine template's live training-reuse
+    /// snapshot (cumulative by construction, so it is rendered directly
+    /// instead of being accumulated here).
     pub fn render(
         &self,
         backend: &str,
         executor_threads: usize,
         connection_workers: usize,
+        profile_store: StoreCounters,
     ) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("# TYPE mood_serve_requests_total counter\n");
@@ -305,6 +311,20 @@ impl ServerMetrics {
             "mood_serve_heatmap_cache_total{{result=\"miss\"}} {}\n",
             self.heatmap_cache_misses.load(Ordering::Relaxed)
         ));
+        out.push_str("# TYPE mood_serve_profile_store_total counter\n");
+        out.push_str(&format!(
+            "mood_serve_profile_store_total{{result=\"hit\"}} {}\n",
+            profile_store.hits
+        ));
+        out.push_str(&format!(
+            "mood_serve_profile_store_total{{result=\"miss\"}} {}\n",
+            profile_store.misses
+        ));
+        out.push_str("# TYPE mood_serve_profile_builds_total counter\n");
+        out.push_str(&format!(
+            "mood_serve_profile_builds_total {}\n",
+            profile_store.profile_builds
+        ));
         out.push_str("# TYPE mood_serve_connections_total counter\n");
         out.push_str(&format!(
             "mood_serve_connections_total {}\n",
@@ -353,7 +373,16 @@ mod tests {
         assert_eq!(m.responses_with_status(404), 1);
         assert_eq!(m.responses_with_status(500), 0);
 
-        let text = m.render("persistent", 4, 2);
+        let text = m.render(
+            "persistent",
+            4,
+            2,
+            StoreCounters {
+                hits: 6,
+                misses: 3,
+                profile_builds: 40,
+            },
+        );
         assert!(
             text.contains("mood_serve_requests_total{endpoint=\"protect\"} 2"),
             "{text}"
@@ -396,6 +425,18 @@ mod tests {
         assert_eq!(m.heatmap_cache_hits_total(), 3);
         assert_eq!(m.heatmap_cache_misses_total(), 4);
         assert!(
+            text.contains("mood_serve_profile_store_total{result=\"hit\"} 6"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_profile_store_total{result=\"miss\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_profile_builds_total 40"),
+            "{text}"
+        );
+        assert!(
             text.contains("mood_serve_executor_threads{backend=\"persistent\"} 4"),
             "{text}"
         );
@@ -414,7 +455,7 @@ mod tests {
         m.record_error_status(408);
         assert_eq!(m.responses_total(), 3);
         assert_eq!(m.responses_with_status(503), 1);
-        let text = m.render("persistent", 1, 1);
+        let text = m.render("persistent", 1, 1, StoreCounters::default());
         assert!(
             text.contains("mood_serve_request_seconds_count 1"),
             "histogram must only see routed responses: {text}"
@@ -430,7 +471,7 @@ mod tests {
         ] {
             m.record_response(200, Duration::from_micros(us));
         }
-        let text = m.render("sequential", 1, 1);
+        let text = m.render("sequential", 1, 1, StoreCounters::default());
         assert!(text.contains("{le=\"0.0005\"} 1"), "{text}");
         assert!(text.contains("{le=\"0.001\"} 2"), "{text}");
         assert!(text.contains("{le=\"5\"} 8"), "{text}");

@@ -330,6 +330,7 @@ fn route(shared: &ServerShared, request: &Request) -> Response {
                     shared.executor.name(),
                     shared.executor.max_threads(),
                     shared.config.connection_workers,
+                    shared.template.profile_store_counters(),
                 ),
             )
         }

@@ -135,6 +135,22 @@ fn smoke_healthz_protect_roundtrip_and_clean_shutdown() {
         text.contains("mood_serve_heatmap_cache_total{result=\"miss\"}"),
         "{text}"
     );
+    // The template trains its suite through a ProfileStore: heatmaps,
+    // POI profiles and chains each miss once, and the chain derivation
+    // re-fetches the POI profiles (one hit) — per-request engines reuse
+    // the trained sets, so the counts stay put across requests.
+    assert!(
+        text.contains("mood_serve_profile_store_total{result=\"hit\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("mood_serve_profile_store_total{result=\"miss\"} 3"),
+        "{text}"
+    );
+    assert!(
+        !text.contains("mood_serve_profile_builds_total 0\n"),
+        "training must have built profiles: {text}"
+    );
     assert!(
         text.contains("mood_serve_executor_threads{backend=\"persistent\"} 2"),
         "{text}"

@@ -89,6 +89,51 @@ fn scratch_attack_path_is_byte_identical_and_observably_reused() {
 }
 
 #[test]
+fn store_trained_engines_are_byte_identical_across_backends_and_threads() {
+    // Every engine after the first trains entirely from the shared
+    // ProfileStore (verified full-compare hits, zero profile rebuilds).
+    // Shared profiles must be invisible in the output: every backend ×
+    // thread count over a warm store stays byte-identical to the
+    // cold-trained sequential reference.
+    use mood_attacks::ProfileStore;
+
+    let (bg, test) = mini_world();
+    let reference = protect_dataset(&MoodEngine::paper_default(&bg), &test, 1);
+    let reference_bytes = fingerprint(&reference);
+
+    let store = Arc::new(ProfileStore::new());
+    let cold = {
+        let first = EngineBuilder::paper_default_with_store(&bg, Arc::clone(&store))
+            .build()
+            .expect("paper defaults are valid");
+        let _ = protect_dataset_with(&first, &test, ExecutorKind::Sequential.build(1).as_ref());
+        store.counters()
+    };
+
+    for kind in ExecutorKind::all() {
+        for threads in THREAD_COUNTS {
+            let engine = EngineBuilder::paper_default_with_store(&bg, Arc::clone(&store))
+                .executor(kind.build(threads))
+                .build()
+                .expect("paper defaults are valid");
+            let report = protect_dataset_with(&engine, &test, kind.build(threads).as_ref());
+            assert_eq!(
+                fingerprint(&report),
+                reference_bytes,
+                "warm-store engine diverged on {kind} x{threads}"
+            );
+        }
+    }
+    let warm = store.counters();
+    assert_eq!(
+        warm.profile_builds, cold.profile_builds,
+        "warm retrains must not rebuild a single profile"
+    );
+    assert_eq!(warm.misses, cold.misses);
+    assert!(warm.hits > cold.hits, "warm retrains never hit the store");
+}
+
+#[test]
 fn two_level_parallelism_matches_the_sequential_reference() {
     // Candidate-level executor inside the engine AND user-level
     // executor in the pipeline, both parallel at once.

@@ -19,7 +19,9 @@ use std::time::Instant;
 
 use mood_bench::perf::{ServeLatencyReport, ServeLatencyRow, SERVE_LATENCY_PATH};
 use mood_bench::{cli_options, Adversary, ExperimentContext};
-use mood_serve::{BatchRequest, Client, EngineTemplate, MoodServer, ProtectRequest, ServeConfig};
+use mood_serve::{
+    BatchRequest, ChaosConfig, Client, EngineTemplate, MoodServer, ProtectRequest, ServeConfig,
+};
 use mood_synth::presets;
 use mood_trace::Trace;
 
@@ -66,7 +68,7 @@ fn main() {
         executor_threads: threads.max(1),
         ..ServeConfig::default()
     };
-    let server = MoodServer::start(config, template).expect("bind loopback server");
+    let server = MoodServer::start(config, template.clone()).expect("bind loopback server");
     let addr = server.local_addr();
     println!(
         "{users} users, {concurrency} concurrent clients -> http://{addr} \
@@ -83,6 +85,7 @@ fn main() {
             let request = ProtectRequest {
                 request_id: 1_000_000 + i as u64,
                 trace: trace.clone(),
+                budget: None,
             };
             let resp = warm
                 .post_json("/v1/protect", &request)
@@ -103,6 +106,7 @@ fn main() {
                     let request = ProtectRequest {
                         request_id: (client_idx * per_client + i) as u64,
                         trace: trace.clone(),
+                        budget: None,
                     };
                     let t0 = Instant::now();
                     let resp = client.post_json("/v1/protect", &request).expect("request");
@@ -130,6 +134,7 @@ fn main() {
         let request = BatchRequest {
             request_id: 5_000_000 + round as u64,
             traces: traces.clone(),
+            budget: None,
         };
         let t0 = Instant::now();
         let resp = client
@@ -140,6 +145,23 @@ fn main() {
     }
     let batch_wall = batch_started.elapsed().as_secs_f64();
     let batch_row = row_from("protect_batch", 1, batch_lat, batch_wall);
+
+    // --- chaos_disabled_overhead: with `chaos: None` every injection
+    // point is a cold `Option` check; measure the cheapest request we
+    // have so any per-request cost shows up instead of drowning in
+    // engine time. The zero-probability comparison server quantifies
+    // the armed-but-silent path for context (printed, not recorded).
+    let healthz_requests = 2_000;
+    let mut healthz_lat: Vec<f64> = Vec::with_capacity(healthz_requests);
+    let healthz_started = Instant::now();
+    for _ in 0..healthz_requests {
+        let t0 = Instant::now();
+        let resp = client.get("/healthz").expect("healthz request");
+        assert_eq!(resp.status, 200, "healthz failed: {:?}", resp.text());
+        healthz_lat.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let healthz_wall = healthz_started.elapsed().as_secs_f64();
+    let chaos_row = row_from("chaos_disabled_overhead", 1, healthz_lat, healthz_wall);
 
     let metrics = server.metrics();
     println!(
@@ -163,6 +185,16 @@ fn main() {
         batch_row.requests_per_s
     );
     println!(
+        "{:<14} x{:<2} {:>6} req   p50 {:>8.2} ms   p99 {:>8.2} ms   mean {:>8.2} ms   {:>8.2} req/s",
+        "chaos_off",
+        chaos_row.concurrency,
+        chaos_row.requests,
+        chaos_row.p50_ms,
+        chaos_row.p99_ms,
+        chaos_row.mean_ms,
+        chaos_row.requests_per_s
+    );
+    println!(
         "\nserver: {} responses, {} users protected, {} scratch reuses, {} connections",
         metrics.responses_total(),
         metrics.users_protected_total(),
@@ -171,10 +203,46 @@ fn main() {
     );
     server.shutdown();
 
+    // Armed-but-silent comparison: chaos enabled with every probability
+    // at zero must be indistinguishable from disabled.
+    {
+        let armed_config = ServeConfig {
+            connection_workers: concurrency + 1,
+            executor_threads: threads.max(1),
+            chaos: Some(ChaosConfig {
+                seed: 7,
+                ..ChaosConfig::default()
+            }),
+            ..ServeConfig::default()
+        };
+        let armed = MoodServer::start(armed_config, template).expect("bind armed server");
+        let mut armed_client = Client::connect(armed.local_addr()).expect("connect armed client");
+        // The disabled loop above ran on a long-warmed server; give the
+        // fresh one the same treatment before timing.
+        for _ in 0..500 {
+            let resp = armed_client.get("/healthz").expect("armed warmup");
+            assert_eq!(resp.status, 200);
+        }
+        let armed_started = Instant::now();
+        for _ in 0..healthz_requests {
+            let resp = armed_client.get("/healthz").expect("armed healthz");
+            assert_eq!(resp.status, 200);
+        }
+        let armed_wall = armed_started.elapsed().as_secs_f64();
+        let armed_rps = healthz_requests as f64 / armed_wall.max(1e-9);
+        println!(
+            "chaos hooks: disabled {:.0} req/s vs armed-zero-probability {:.0} req/s ({:+.1}%)",
+            chaos_row.requests_per_s,
+            armed_rps,
+            (armed_rps / chaos_row.requests_per_s.max(1e-9) - 1.0) * 100.0
+        );
+        armed.shutdown();
+    }
+
     let doc = ServeLatencyReport {
         dataset: ctx.spec.name.clone(),
         scale_note: format!("privamov-like scaled by {scale}"),
-        rows: vec![protect_row, batch_row],
+        rows: vec![protect_row, batch_row, chaos_row],
     };
     mood_bench::perf::write_json(SERVE_LATENCY_PATH, &doc).expect("write serve latency results");
     println!(

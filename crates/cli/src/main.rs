@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use mood_core::{publish, EngineBuilder, ExecutorKind, MoodConfig};
 use mood_geo::Grid;
 use mood_metrics::CountQueryStats;
-use mood_serve::{MoodServer, ServeConfig};
+use mood_serve::{ChaosConfig, MoodServer, ServeConfig};
 use mood_synth::presets;
 use mood_trace::{io as trace_io, TimeDelta};
 
@@ -40,6 +40,8 @@ USAGE:
   mood serve   --background <train.csv> [--addr <host:port=127.0.0.1:7079>]
                [--threads <n>] [--executor <sequential|pool|steal|persistent>]
                [--workers <n>] [--seed <n>] [--max-requests <n=0 (forever)>]
+               [--budget <n>] [--chaos-profile <drop|shed|delay|panic|truncate|all|a+b>]
+               [--chaos-seed <n>]
   mood help
 
 `mood protect` streams per-user progress to stderr as results complete;
@@ -53,6 +55,10 @@ POST /v1/protect/batch (many, via protect_stream), GET /healthz,
 GET /v1/config, GET /metrics. --seed is the server seed of the
 per-request determinism contract; --max-requests N serves N responses
 then shuts down cleanly (for smoke tests), 0 means run until killed.
+--budget caps candidates scored per request (over-budget responses are
+served degraded, deterministically); --chaos-profile arms seeded fault
+injection (drop/shed/delay/panic/truncate, `+`-combinable; counted in
+/metrics) with --chaos-seed picking the fault stream.
 ";
 
 fn main() -> ExitCode {
@@ -340,6 +346,29 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let workers: usize = parse_or(opts, "workers", threads)?;
     let seed: u64 = parse_or(opts, "seed", MoodConfig::paper_default().seed)?;
     let max_requests: u64 = parse_or(opts, "max-requests", 0)?;
+    let candidate_budget = match opts.get("budget") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("invalid value '{v}' for --budget"))?,
+        ),
+    };
+    let chaos = match (opts.get("chaos-profile"), opts.get("chaos-seed")) {
+        (None, None) => None,
+        (profile, seed) => {
+            let chaos_seed: u64 = seed
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("invalid value '{v}' for --chaos-seed"))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            Some(
+                ChaosConfig::from_profile(profile.map_or("all", String::as_str), chaos_seed)
+                    .map_err(|e| format!("invalid --chaos-profile: {e}"))?,
+            )
+        }
+    };
 
     let background = trace_io::read_csv_file(background_path).map_err(|e| e.to_string())?;
     if background.is_empty() {
@@ -356,9 +385,17 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         executor: executor_kind,
         executor_threads: threads.max(1),
         server_seed: seed,
+        chaos,
+        candidate_budget,
         ..ServeConfig::default()
     };
     let server = MoodServer::start_paper_default(config, &background).map_err(|e| e.to_string())?;
+    if let Some(chaos) = chaos {
+        println!(
+            "CHAOS ARMED (seed {}): drop {:.2} shed {:.2} delay {:.2}@{}ms panic {:.2} truncate {:.2} — faults land in /metrics",
+            chaos.seed, chaos.accept_drop, chaos.shed, chaos.delay, chaos.delay_ms, chaos.panic, chaos.truncate
+        );
+    }
     println!(
         "mood-serve listening on http://{} [{executor_kind} executor x{threads}, {} connection workers, seed {seed}]",
         server.local_addr(),

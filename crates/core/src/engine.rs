@@ -161,6 +161,7 @@ pub struct EngineBuilder {
     config: MoodConfig,
     executor: Arc<dyn Executor>,
     store: Option<Arc<ProfileStore>>,
+    candidate_budget: usize,
 }
 
 /// The builder's LPPM set: either composed piecewise (`Owned`) or taken
@@ -203,6 +204,7 @@ impl EngineBuilder {
             config: MoodConfig::paper_default(),
             executor: Arc::new(SequentialExecutor),
             store: None,
+            candidate_budget: usize::MAX,
         }
     }
 
@@ -307,6 +309,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Caps the number of candidate variants a single
+    /// [`MoodEngine::protect_user`] call may fully score (deadline-aware
+    /// graceful degradation; default: unlimited).
+    ///
+    /// The budget is consumed in job order — the same order every
+    /// executor backend reports verdicts in — so the cut point is a pure
+    /// function of `(budget, candidates scored so far)` and a replayed
+    /// request degrades identically on any backend and thread count.
+    /// Candidates past the cut are skipped whole, never partially
+    /// scored: the scratch contract is untouched. A call that exhausts
+    /// its budget returns [`UserProtection::degraded`]` == true`.
+    pub fn candidate_budget(mut self, budget: usize) -> Self {
+        self.candidate_budget = budget;
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Errors
@@ -334,6 +352,7 @@ impl EngineBuilder {
             executor: self.executor,
             scratch: ScratchPool::new(),
             store: self.store,
+            candidate_budget: self.candidate_budget,
         })
     }
 }
@@ -367,6 +386,28 @@ pub struct MoodEngine {
     executor: Arc<dyn Executor>,
     scratch: ScratchPool,
     store: Option<Arc<ProfileStore>>,
+    candidate_budget: usize,
+}
+
+/// Per-`protect_user` candidate budget: how many variants may still be
+/// fully scored, and whether the cut has already fired. Consumed in job
+/// order, so the skipped set is identical on every backend.
+struct BudgetState {
+    remaining: usize,
+    exhausted: bool,
+}
+
+impl BudgetState {
+    fn new(budget: usize) -> Self {
+        Self {
+            remaining: budget,
+            exhausted: false,
+        }
+    }
+
+    fn unlimited() -> Self {
+        Self::new(usize::MAX)
+    }
 }
 
 impl std::fmt::Debug for MoodEngine {
@@ -610,6 +651,7 @@ impl MoodEngine {
         trace: &Trace,
         variants: I,
         idx_base: usize,
+        budget: &mut BudgetState,
     ) -> Option<ProtectedTrace>
     where
         I: IntoIterator<Item = &'a dyn Lppm>,
@@ -622,7 +664,17 @@ impl MoodEngine {
                 lppm,
             })
             .collect();
-        self.evaluate_candidates(trace, &jobs)
+        // Deadline-aware cut: only the first `remaining` jobs (in job
+        // order) are submitted, so the set of candidates ever scored is
+        // a pure function of the budget — identical across executor
+        // backends and thread counts. Skipped candidates are skipped
+        // whole; nothing is ever partially scored.
+        let allowed = jobs.len().min(budget.remaining);
+        if allowed < jobs.len() {
+            budget.exhausted = true;
+        }
+        budget.remaining -= allowed;
+        self.evaluate_candidates(trace, &jobs[..allowed])
             .into_iter()
             .enumerate()
             .filter_map(|(i, verdict)| verdict.map(|p| (i, p)))
@@ -637,7 +689,11 @@ impl MoodEngine {
     /// Single-LPPM stage (Algorithm 1 lines 4–14): the resilient single
     /// LPPM with the lowest distortion, if any.
     pub fn search_single(&self, trace: &Trace) -> Option<ProtectedTrace> {
-        self.best_resilient(trace, self.base.iter().map(|l| l as &dyn Lppm), 0)
+        self.search_single_in(trace, &mut BudgetState::unlimited())
+    }
+
+    fn search_single_in(&self, trace: &Trace, budget: &mut BudgetState) -> Option<ProtectedTrace> {
+        self.best_resilient(trace, self.base.iter().map(|l| l as &dyn Lppm), 0, budget)
     }
 
     /// Composition stage (lines 16–26): the resilient composition with
@@ -647,10 +703,19 @@ impl MoodEngine {
     /// uniformly as a distortion to minimize (the paper's own §3.5:
     /// "the lower the distortion the better"). See DESIGN.md.
     pub fn search_composition(&self, trace: &Trace) -> Option<ProtectedTrace> {
+        self.search_composition_in(trace, &mut BudgetState::unlimited())
+    }
+
+    fn search_composition_in(
+        &self,
+        trace: &Trace,
+        budget: &mut BudgetState,
+    ) -> Option<ProtectedTrace> {
         self.best_resilient(
             trace,
             self.compositions.iter().map(|c| c as &dyn Lppm),
             self.base.len(),
+            budget,
         )
     }
 
@@ -658,10 +723,18 @@ impl MoodEngine {
     /// compositions only when no single works (Algorithm 1's ordering).
     /// The boolean reports whether a composition was needed.
     pub fn search_whole(&self, trace: &Trace) -> Option<(ProtectedTrace, bool)> {
-        if let Some(p) = self.search_single(trace) {
+        self.search_whole_in(trace, &mut BudgetState::unlimited())
+    }
+
+    fn search_whole_in(
+        &self,
+        trace: &Trace,
+        budget: &mut BudgetState,
+    ) -> Option<(ProtectedTrace, bool)> {
+        if let Some(p) = self.search_single_in(trace, budget) {
             return Some((p, false));
         }
-        self.search_composition(trace).map(|p| (p, true))
+        self.search_composition_in(trace, budget).map(|p| (p, true))
     }
 
     /// Recursive fine-grained protection (lines 27–36): whole-trace
@@ -673,9 +746,10 @@ impl MoodEngine {
         trace: &Trace,
         published: &mut Vec<ProtectedTrace>,
         stats: &mut FineGrainedStats,
+        budget: &mut BudgetState,
     ) {
         stats.sub_traces_total += 1;
-        if let Some((p, _)) = self.search_whole(trace) {
+        if let Some((p, _)) = self.search_whole_in(trace, budget) {
             stats.sub_traces_protected += 1;
             stats.records_published += trace.len();
             published.push(p);
@@ -687,8 +761,8 @@ impl MoodEngine {
             // unprotectable rather than looping.
             match self.config.split_strategy.split(trace) {
                 Some((l, r)) => {
-                    self.protect_recursive(&l, published, stats);
-                    self.protect_recursive(&r, published, stats);
+                    self.protect_recursive(&l, published, stats, budget);
+                    self.protect_recursive(&r, published, stats, budget);
                 }
                 None => stats.records_dropped += trace.len(),
             }
@@ -706,7 +780,9 @@ impl MoodEngine {
         // equivalence), so determinism is unaffected. The sequential
         // variant scores on a pooled scratch, which also pre-warms the
         // rasterization cache for the raw trace the HMC-first candidate
-        // variants are about to re-raster.
+        // variants are about to re-raster. It is deliberately outside
+        // the candidate budget: the user's taxonomy class must not
+        // depend on how much compute the request was granted.
         let naturally_protected = if self.executor.max_threads() > 1 {
             self.suite.protects_concurrent(trace, trace.user())
         } else {
@@ -715,7 +791,8 @@ impl MoodEngine {
                 .protects_with(trace, trace.user(), &mut lease.scratch_mut().attack)
         };
 
-        if let Some((protected, via_composition)) = self.search_whole(trace) {
+        let mut budget = BudgetState::new(self.candidate_budget);
+        if let Some((protected, via_composition)) = self.search_whole_in(trace, &mut budget) {
             let class = if naturally_protected {
                 UserClass::NaturallyProtected
             } else if via_composition {
@@ -728,20 +805,24 @@ impl MoodEngine {
                 class,
                 outcome: ProtectionOutcome::Whole(protected),
                 original_records: trace.len(),
+                degraded: budget.exhausted,
             };
         }
 
         // Fine-grained stage: initial windows (24 h in the paper), then
-        // recursive halving with the δ floor.
+        // recursive halving with the δ floor. An exhausted budget makes
+        // every remaining whole-trace search come up empty, so the
+        // remaining sub-traces drop their records — deterministically,
+        // since the cut point is fixed by (budget, candidates scored).
         let mut published = Vec::new();
         let mut stats = FineGrainedStats::default();
         match self.config.initial_window {
             Some(window) => {
                 for sub in trace.windows(window) {
-                    self.protect_recursive(&sub, &mut published, &mut stats);
+                    self.protect_recursive(&sub, &mut published, &mut stats, &mut budget);
                 }
             }
-            None => self.protect_recursive(trace, &mut published, &mut stats),
+            None => self.protect_recursive(trace, &mut published, &mut stats, &mut budget),
         }
 
         let class = if naturally_protected {
@@ -756,6 +837,7 @@ impl MoodEngine {
             class,
             outcome: ProtectionOutcome::FineGrained { published, stats },
             original_records: trace.len(),
+            degraded: budget.exhausted,
         }
     }
 }
@@ -1053,6 +1135,83 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn candidate_budget_degrades_deterministically() {
+        let (bg, test) = mini_world();
+        let unlimited = MoodEngine::paper_default(&bg);
+        let starved = EngineBuilder::paper_default(&bg)
+            .candidate_budget(1)
+            .build()
+            .unwrap();
+        let mut saw_degraded = false;
+        for trace in test.iter().take(6) {
+            let a = starved.protect_user(trace);
+            let b = starved.protect_user(trace);
+            assert_eq!(a, b, "budgeted protection must be deterministic");
+            saw_degraded |= a.degraded;
+            // Degraded output is still made only of fully scored
+            // candidates: whatever is published resists the suite.
+            for p in a.outcome.published() {
+                assert!(
+                    unlimited.suite().protects(&p.trace, trace.user()),
+                    "degraded output of {} not resilient",
+                    trace.user()
+                );
+            }
+            assert!(
+                !unlimited.protect_user(trace).degraded,
+                "an unbudgeted engine never degrades"
+            );
+        }
+        assert!(
+            saw_degraded,
+            "budget=1 must exhaust the candidate search for at least one user"
+        );
+    }
+
+    #[test]
+    fn budgeted_protection_is_identical_across_executors() {
+        // The cut point is a prefix in deterministic job order, so the
+        // degraded result must not depend on backend or thread count.
+        let (bg, test) = mini_world();
+        let reference = EngineBuilder::paper_default(&bg)
+            .candidate_budget(7)
+            .build()
+            .unwrap();
+        for kind in crate::ExecutorKind::all() {
+            for threads in [1usize, 4] {
+                let engine = EngineBuilder::paper_default(&bg)
+                    .candidate_budget(7)
+                    .executor(kind.build(threads))
+                    .build()
+                    .unwrap();
+                for trace in test.iter().take(3) {
+                    assert_eq!(
+                        engine.protect_user(trace),
+                        reference.protect_user(trace),
+                        "{kind} x{threads} diverged under budget on {}",
+                        trace.user()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_budget_equals_the_unlimited_engine() {
+        let (bg, test) = mini_world();
+        let unlimited = MoodEngine::paper_default(&bg);
+        let roomy = EngineBuilder::paper_default(&bg)
+            .candidate_budget(usize::MAX)
+            .build()
+            .unwrap();
+        for trace in test.iter().take(4) {
+            let r = roomy.protect_user(trace);
+            assert!(!r.degraded);
+            assert_eq!(unlimited.protect_user(trace), r);
         }
     }
 

@@ -220,6 +220,7 @@ mod tests {
                 distortion_m: distortion,
             }),
             original_records: records as usize,
+            degraded: false,
         }
     }
 
@@ -250,6 +251,7 @@ mod tests {
                 },
             },
             original_records: published as usize + dropped,
+            degraded: false,
         }
     }
 

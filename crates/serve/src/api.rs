@@ -17,11 +17,19 @@
 //! * both equal the *offline* result of running
 //!   [`mood_core::protect_stream`] with an engine seeded with the same
 //!   derived seed — the gate the serve integration tests enforce.
+//!
+//! A request carrying a candidate [`ProtectRequest::budget`] extends the
+//! pure function by one argument: served bytes are then a pure function
+//! of `(server_seed, user, request_id, budget)`, and the `degraded`
+//! flag in the result reports whether the budget actually cut the
+//! search short. Chaos faults (see [`crate::ChaosConfig`]) never alter
+//! this contract — an injected fault kills a response, it never rewrites
+//! one.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 use mood_attacks::{AttackSuite, ProfileStore, StoreCounters};
 use mood_core::{
@@ -31,21 +39,68 @@ use mood_lppm::Lppm;
 use mood_trace::{Dataset, Trace, UserId};
 
 /// Body of `POST /v1/protect`: one user's trace plus the replay id.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ProtectRequest {
     /// Client-chosen replay id; the engine seed derives from it.
     pub request_id: u64,
     /// The trace to protect.
     pub trace: Trace,
+    /// Optional per-request candidate budget (deadline-aware graceful
+    /// degradation): at most this many candidate variants are fully
+    /// scored; past the cut the result is flagged `degraded` but stays
+    /// deterministic. `None` (or an absent key — old clients keep
+    /// working) uses the server's default, normally unlimited.
+    pub budget: Option<u64>,
+}
+
+// Hand-written so the new optional `budget` key is genuinely optional
+// on the wire: the derive treats a missing key as an error, which would
+// reject every pre-budget client body.
+impl Deserialize for ProtectRequest {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        Ok(Self {
+            request_id: Deserialize::from_value(required(value, "request_id")?)?,
+            trace: Deserialize::from_value(required(value, "trace")?)?,
+            budget: optional(value, "budget")?,
+        })
+    }
 }
 
 /// Body of `POST /v1/protect/batch`: many users, one replay id.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct BatchRequest {
     /// Client-chosen replay id; the engine seed derives from it.
     pub request_id: u64,
     /// The traces to protect (one per user; duplicate users are a 400).
     pub traces: Vec<Trace>,
+    /// Optional per-request candidate budget; applied to each user's
+    /// protection independently (see [`ProtectRequest::budget`]).
+    pub budget: Option<u64>,
+}
+
+impl Deserialize for BatchRequest {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        Ok(Self {
+            request_id: Deserialize::from_value(required(value, "request_id")?)?,
+            traces: Deserialize::from_value(required(value, "traces")?)?,
+            budget: optional(value, "budget")?,
+        })
+    }
+}
+
+/// A mandatory JSON key: absent is a `missing_field` error.
+fn required<'v>(value: &'v Value, field: &str) -> Result<&'v Value, SerdeError> {
+    value
+        .get(field)
+        .ok_or_else(|| SerdeError::missing_field(field))
+}
+
+/// An optional JSON key: absent and `null` both mean `None`.
+fn optional<T: Deserialize>(value: &Value, field: &str) -> Result<Option<T>, SerdeError> {
+    match value.get(field) {
+        Some(v) => Deserialize::from_value(v),
+        None => Ok(None),
+    }
 }
 
 /// One published protected (sub-)trace with its provenance.
@@ -73,6 +128,11 @@ pub struct ProtectResult {
     pub original_records: usize,
     /// Original records erased (fine-grained protection only).
     pub records_dropped: usize,
+    /// `true` when the candidate budget ran out before every variant
+    /// was tried: the outcome is still deterministic (the cut point is
+    /// a pure function of the budget), but may be coarser than the
+    /// unbudgeted result.
+    pub degraded: bool,
 }
 
 impl ProtectResult {
@@ -93,6 +153,7 @@ impl ProtectResult {
                 .collect(),
             original_records: outcome.original_records,
             records_dropped: outcome.outcome.records_dropped(),
+            degraded: outcome.degraded,
         }
     }
 }
@@ -229,6 +290,18 @@ impl EngineTemplate {
     /// Builds the engine for one request: same suite, LPPMs and
     /// configuration, the derived `seed`, candidates on `executor`.
     pub fn engine_for_on(&self, seed: u64, executor: Arc<dyn Executor>) -> MoodEngine {
+        self.engine_for_request(seed, executor, None)
+    }
+
+    /// [`EngineTemplate::engine_for_on`] with an optional candidate
+    /// budget ([`EngineBuilder::candidate_budget`]): the request-path
+    /// factory behind deadline-aware graceful degradation.
+    pub fn engine_for_request(
+        &self,
+        seed: u64,
+        executor: Arc<dyn Executor>,
+        budget: Option<u64>,
+    ) -> MoodEngine {
         let mut config = self.config;
         config.seed = seed;
         let mut builder = EngineBuilder::new(Arc::clone(&self.suite))
@@ -237,6 +310,9 @@ impl EngineTemplate {
             .executor(executor);
         if let Some(store) = &self.store {
             builder = builder.profile_store(Arc::clone(store));
+        }
+        if let Some(budget) = budget {
+            builder = builder.candidate_budget(usize::try_from(budget).unwrap_or(usize::MAX));
         }
         builder
             .build()
@@ -315,6 +391,7 @@ mod tests {
         let req = ProtectRequest {
             request_id: 42,
             trace: trace.clone(),
+            budget: None,
         };
         let json = serde_json::to_string(&req).unwrap();
         let back: ProtectRequest = serde_json::from_str(&json).unwrap();
@@ -333,10 +410,45 @@ mod tests {
                 }],
                 original_records: 4,
                 records_dropped: 0,
+                degraded: false,
             },
         };
         let json = serde_json::to_string(&resp).unwrap();
         let back: ProtectResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn budget_key_is_optional_on_the_wire() {
+        use mood_geo::GeoPoint;
+        use mood_trace::{Record, Timestamp};
+
+        let trace = Trace::new(
+            UserId::new(3),
+            vec![Record::new(
+                GeoPoint::new(46.2, 6.1).unwrap(),
+                Timestamp::from_unix(0),
+            )],
+        )
+        .unwrap();
+        let trace_json = serde_json::to_string(&trace).unwrap();
+
+        // A pre-budget client body (no `budget` key) must still parse.
+        let json = format!(r#"{{"request_id":7,"trace":{trace_json}}}"#);
+        let req: ProtectRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req.request_id, 7);
+        assert_eq!(req.budget, None);
+
+        // An explicit null is the same as absent; a number is a budget.
+        let json = format!(r#"{{"request_id":7,"trace":{trace_json},"budget":null}}"#);
+        let req: ProtectRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req.budget, None);
+
+        let req: BatchRequest =
+            serde_json::from_str(r#"{"request_id":7,"traces":[],"budget":12}"#).unwrap();
+        assert_eq!(req.budget, Some(12));
+
+        // Mandatory keys still error when absent.
+        assert!(serde_json::from_str::<ProtectRequest>(r#"{"request_id":7}"#).is_err());
     }
 }

@@ -51,6 +51,29 @@ impl ClientResponse {
     }
 }
 
+/// Transport timeouts of a [`Client`] connection.
+///
+/// The default keeps the historical behavior: no connect timeout (the
+/// OS default applies) and a generous 30 s read timeout so a wedged
+/// server fails a test instead of hanging it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection; `None` leaves the OS
+    /// default in place.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each blocking read; `None` blocks forever.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: None,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
 /// A keep-alive connection to one server.
 #[derive(Debug)]
 pub struct Client {
@@ -59,15 +82,46 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects, arming a generous read timeout so a wedged server
-    /// fails a test instead of hanging it.
+    /// Connects with the default [`ClientConfig`] (30 s read timeout).
     ///
     /// # Errors
     ///
     /// Returns the connect/configuration error, if any.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit transport timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect/configuration error, if any — including
+    /// `TimedOut` when `connect_timeout` expires first.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> io::Result<Client> {
+        let stream = match config.connect_timeout {
+            // `TcpStream::connect_timeout` needs a resolved address;
+            // try each in turn like `connect` itself would.
+            Some(timeout) => {
+                let mut last = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                    })
+                })?
+            }
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_read_timeout(config.read_timeout)?;
         let _ = stream.set_nodelay(true);
         Ok(Client {
             stream,
@@ -194,4 +248,57 @@ pub fn fetch<A: ToSocketAddrs>(
 ) -> io::Result<ClientResponse> {
     let mut client = Client::connect(addr)?;
     client.request(method, path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    #[test]
+    fn wedged_server_times_out_instead_of_hanging() {
+        // A listener that accepts and then never writes a byte.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let wedge = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Hold the connection open until the test signals it's over
+            // (dropping earlier would turn the timeout into an EOF).
+            let _ = done_rx.recv_timeout(Duration::from_secs(5));
+            drop(stream);
+        });
+
+        let config = ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_millis(100)),
+        };
+        let mut client = Client::connect_with(addr, config).unwrap();
+        let started = Instant::now();
+        let err = client.get("/healthz").expect_err("no response can exist");
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "expected a read-timeout error, got {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "timeout must fire promptly, took {:?}",
+            started.elapsed()
+        );
+        done_tx.send(()).unwrap();
+        wedge.join().unwrap();
+    }
+
+    #[test]
+    fn default_config_keeps_the_historical_read_timeout() {
+        assert_eq!(
+            ClientConfig::default().read_timeout,
+            Some(Duration::from_secs(30))
+        );
+        assert_eq!(ClientConfig::default().connect_timeout, None);
+    }
 }

@@ -322,6 +322,16 @@ impl Conn {
     pub fn write_response(&mut self, response: &Response) -> io::Result<()> {
         response.write_to(&mut self.stream)
     }
+
+    /// Chaos-fault path: writes `response` cut off mid-body (see
+    /// [`Response::write_truncated_to`]); the caller must then close.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport error, if any.
+    pub fn write_response_truncated(&mut self, response: &Response) -> io::Result<()> {
+        response.write_truncated_to(&mut self.stream)
+    }
 }
 
 /// First position of `needle` in `haystack`.
@@ -376,26 +386,116 @@ impl Response {
         self
     }
 
-    /// Serializes the response (status line, headers, body) into `out`.
-    ///
-    /// # Errors
-    ///
-    /// Returns the transport error, if any.
-    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
-        write!(
-            out,
+    /// The response head (status line + headers + blank line) as bytes.
+    fn head_bytes(&self) -> Vec<u8> {
+        let mut head = format!(
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
             self.status,
             reason_phrase(self.status),
             self.content_type,
             self.body.len()
-        )?;
+        )
+        .into_bytes();
         if self.close {
-            out.write_all(b"connection: close\r\n")?;
+            head.extend_from_slice(b"connection: close\r\n");
         }
-        out.write_all(b"\r\n")?;
-        out.write_all(&self.body)?;
-        out.flush()
+        head.extend_from_slice(b"\r\n");
+        head
+    }
+
+    /// Serializes the response (status line, headers, body) into `out`,
+    /// riding out short writes: `Interrupted` retries immediately and
+    /// `WouldBlock` (a throttled non-blocking or send-timeout socket)
+    /// retries with a bounded patience instead of dropping the tail of
+    /// the response on the floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport error, if any; `TimedOut` when the peer
+    /// stays unwritable past the patience window.
+    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        write_all_patient(out, &self.head_bytes(), WRITE_PATIENCE)?;
+        write_all_patient(out, &self.body, WRITE_PATIENCE)?;
+        flush_patient(out, WRITE_PATIENCE)
+    }
+
+    /// Chaos-fault write path: sends the full head but only the first
+    /// half of the body, then stops. The `content-length` header still
+    /// promises the full body, so a client that counts bytes sees an
+    /// unambiguous truncation (`UnexpectedEof` once the server closes) —
+    /// a *retryable* failure, never a plausible short response.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport error, if any.
+    pub fn write_truncated_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        write_all_patient(out, &self.head_bytes(), WRITE_PATIENCE)?;
+        write_all_patient(out, &self.body[..self.body.len() / 2], WRITE_PATIENCE)?;
+        flush_patient(out, WRITE_PATIENCE)
+    }
+}
+
+/// How long a response write keeps retrying `WouldBlock` before giving
+/// up on the peer.
+const WRITE_PATIENCE: Duration = Duration::from_secs(5);
+
+/// How long to back off between `WouldBlock` retries.
+const WRITE_RETRY_PAUSE: Duration = Duration::from_millis(1);
+
+/// `write_all` that survives interrupted and throttled sockets:
+/// `Interrupted` retries immediately, `WouldBlock` retries after a
+/// short pause until `patience` is spent, and a zero-length write is
+/// reported as `WriteZero` instead of looping forever.
+pub(crate) fn write_all_patient<W: Write>(
+    out: &mut W,
+    mut buf: &[u8],
+    patience: Duration,
+) -> io::Result<()> {
+    let started = Instant::now();
+    while !buf.is_empty() {
+        match out.write(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer accepts no more bytes",
+                ));
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if started.elapsed() >= patience {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stayed unwritable past the write patience",
+                    ));
+                }
+                std::thread::sleep(WRITE_RETRY_PAUSE);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// `flush` with the same `Interrupted`/`WouldBlock` patience as
+/// [`write_all_patient`].
+fn flush_patient<W: Write>(out: &mut W, patience: Duration) -> io::Result<()> {
+    let started = Instant::now();
+    loop {
+        match out.flush() {
+            Ok(()) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if started.elapsed() >= patience {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stayed unflushable past the write patience",
+                    ));
+                }
+                std::thread::sleep(WRITE_RETRY_PAUSE);
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -525,5 +625,110 @@ mod tests {
     fn find_subsequence_positions() {
         assert_eq!(find_subsequence(b"abc\r\n\r\nrest", b"\r\n\r\n"), Some(3));
         assert_eq!(find_subsequence(b"abc", b"\r\n\r\n"), None);
+    }
+
+    /// A `Write` that accepts at most `chunk` bytes per call and
+    /// interleaves scripted `Interrupted`/`WouldBlock` errors between
+    /// accepted chunks — the shape of a throttled or signal-riddled
+    /// socket.
+    struct ThrottleStream {
+        written: Vec<u8>,
+        chunk: usize,
+        hiccups: std::collections::VecDeque<io::ErrorKind>,
+    }
+
+    impl ThrottleStream {
+        fn new(chunk: usize, hiccups: &[io::ErrorKind]) -> Self {
+            Self {
+                written: Vec::new(),
+                chunk,
+                hiccups: hiccups.iter().copied().collect(),
+            }
+        }
+    }
+
+    impl Write for ThrottleStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if let Some(kind) = self.hiccups.pop_front() {
+                return Err(io::Error::new(kind, "scripted hiccup"));
+            }
+            let n = buf.len().min(self.chunk);
+            self.written.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_to_rides_out_short_writes_and_hiccups() {
+        use io::ErrorKind::{Interrupted, WouldBlock};
+        let response = Response::text(200, "a body long enough to need many chunks");
+        let mut reference = Vec::new();
+        response.write_to(&mut reference).unwrap();
+
+        let mut throttled = ThrottleStream::new(
+            3,
+            &[
+                Interrupted,
+                WouldBlock,
+                Interrupted,
+                Interrupted,
+                WouldBlock,
+                WouldBlock,
+            ],
+        );
+        response.write_to(&mut throttled).unwrap();
+        assert_eq!(
+            throttled.written, reference,
+            "short writes must not lose or reorder bytes"
+        );
+    }
+
+    #[test]
+    fn persistent_would_block_times_out() {
+        // A peer that never becomes writable: every call WouldBlocks.
+        struct Wedged;
+        impl Write for Wedged {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "wedged"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_all_patient(&mut Wedged, b"payload", Duration::from_millis(20))
+            .expect_err("a wedged peer must time out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn zero_length_write_is_write_zero_not_a_spin() {
+        struct Stuck;
+        impl Write for Stuck {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_all_patient(&mut Stuck, b"payload", Duration::from_millis(20))
+            .expect_err("Ok(0) forever must error");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn truncated_write_promises_more_than_it_sends() {
+        let response = Response::text(200, "0123456789");
+        let mut out = Vec::new();
+        response.write_truncated_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Full head with the full content-length…
+        assert!(text.contains("content-length: 10\r\n"), "{text}");
+        // …but only half the body follows.
+        assert!(text.ends_with("\r\n\r\n01234"), "{text}");
     }
 }

@@ -28,6 +28,16 @@
 //! equal the offline [`mood_core::protect_stream`] result with the
 //! same derived seed (see [`api`]).
 //!
+//! **Resilience:** that purity makes every request idempotent, which
+//! the robustness layer cashes in. [`ChaosConfig`]/[`FaultPlan`]
+//! ([`chaos`]) inject seeded, exactly-replayable faults (accept drops,
+//! forced shedding, delays, handler panics, response truncation) when
+//! enabled via [`ServeConfig::chaos`]; [`RetryClient`] ([`retry`])
+//! retries retryable failures with deterministic backoff and can verify
+//! that a replayed `request_id` returns byte-identical bytes; and a
+//! per-request candidate budget ([`ProtectRequest::budget`]) degrades
+//! over-deadline requests gracefully and deterministically.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,6 +55,7 @@
 //! let request = mood_serve::ProtectRequest {
 //!     request_id: 1,
 //!     trace: test.iter().next().unwrap().clone(),
+//!     budget: None,
 //! };
 //! let response = client.post_json("/v1/protect", &request)?;
 //! assert_eq!(response.status, 200);
@@ -57,16 +68,20 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod chaos;
 mod client;
 mod http;
 mod metrics;
+pub mod retry;
 mod server;
 
 pub use api::{
     request_seed, BatchRequest, BatchResponse, ConfigResponse, EngineTemplate, ErrorBody,
     ProtectRequest, ProtectResponse, ProtectResult, PublishedTrace,
 };
-pub use client::{fetch, Client, ClientResponse};
+pub use chaos::{ChaosConfig, FaultKind, FaultPlan};
+pub use client::{fetch, Client, ClientConfig, ClientResponse};
 pub use http::{reason_phrase, Conn, Request, RequestOutcome, Response, MAX_HEAD_BYTES};
 pub use metrics::{Endpoint, ServerMetrics};
+pub use retry::{RetryClient, RetryPolicy, RetryStats};
 pub use server::{MoodServer, ServeConfig};

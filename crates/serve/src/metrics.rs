@@ -13,6 +13,8 @@ use std::time::Duration;
 
 use mood_attacks::StoreCounters;
 
+use crate::chaos::FaultKind;
+
 /// The endpoints the service distinguishes in its metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
@@ -86,6 +88,8 @@ pub struct ServerMetrics {
     heatmap_cache_misses: AtomicU64,
     connections: AtomicU64,
     overload_rejected: AtomicU64,
+    faults: [AtomicU64; FaultKind::ALL.len()],
+    degraded_results: AtomicU64,
 }
 
 impl Default for ServerMetrics {
@@ -110,6 +114,8 @@ impl ServerMetrics {
             heatmap_cache_misses: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             overload_rejected: AtomicU64::new(0),
+            faults: std::array::from_fn(|_| AtomicU64::new(0)),
+            degraded_results: AtomicU64::new(0),
         }
     }
 
@@ -185,6 +191,17 @@ impl ServerMetrics {
         self.overload_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one injected chaos fault of `kind`.
+    pub fn record_fault(&self, kind: FaultKind) {
+        self.faults[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts degraded protection results (candidate budget exhausted)
+    /// served so far.
+    pub fn add_degraded_results(&self, n: u64) {
+        self.degraded_results.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Responses sent so far (any status).
     pub fn responses_total(&self) -> u64 {
         self.responses.load(Ordering::Relaxed)
@@ -206,6 +223,21 @@ impl ServerMetrics {
     /// Connections shed with 503 so far.
     pub fn overload_rejected_total(&self) -> u64 {
         self.overload_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Chaos faults of `kind` injected so far.
+    pub fn faults_injected_total(&self, kind: FaultKind) -> u64 {
+        self.faults[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Chaos faults injected so far, all kinds together.
+    pub fn faults_injected_all(&self) -> u64 {
+        self.faults.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Degraded protection results served so far.
+    pub fn degraded_results_total(&self) -> u64 {
+        self.degraded_results.load(Ordering::Relaxed)
     }
 
     /// Users protected so far (single + batch).
@@ -335,6 +367,19 @@ impl ServerMetrics {
             "mood_serve_overload_rejected_total {}\n",
             self.overload_rejected.load(Ordering::Relaxed)
         ));
+        out.push_str("# TYPE mood_serve_faults_injected_total counter\n");
+        for kind in FaultKind::ALL {
+            out.push_str(&format!(
+                "mood_serve_faults_injected_total{{kind=\"{}\"}} {}\n",
+                kind.label(),
+                self.faults[kind.index()].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE mood_serve_degraded_results_total counter\n");
+        out.push_str(&format!(
+            "mood_serve_degraded_results_total {}\n",
+            self.degraded_results.load(Ordering::Relaxed)
+        ));
         out.push_str("# TYPE mood_serve_executor_threads gauge\n");
         out.push_str(&format!(
             "mood_serve_executor_threads{{backend=\"{backend}\"}} {executor_threads}\n"
@@ -443,6 +488,36 @@ mod tests {
         assert!(text.contains("mood_serve_connection_workers 2"), "{text}");
         assert!(
             text.contains("mood_serve_overload_rejected_total 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn fault_counters_render_per_kind() {
+        let m = ServerMetrics::new();
+        m.record_fault(FaultKind::Delay);
+        m.record_fault(FaultKind::Delay);
+        m.record_fault(FaultKind::Truncate);
+        m.add_degraded_results(3);
+        assert_eq!(m.faults_injected_total(FaultKind::Delay), 2);
+        assert_eq!(m.faults_injected_total(FaultKind::AcceptDrop), 0);
+        assert_eq!(m.faults_injected_all(), 3);
+        assert_eq!(m.degraded_results_total(), 3);
+        let text = m.render("sequential", 1, 1, StoreCounters::default());
+        assert!(
+            text.contains("mood_serve_faults_injected_total{kind=\"delay\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_faults_injected_total{kind=\"truncate\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_faults_injected_total{kind=\"accept_drop\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_degraded_results_total 3"),
             "{text}"
         );
     }

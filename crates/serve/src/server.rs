@@ -19,19 +19,20 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mood_core::{protect_stream, Executor, ExecutorKind, MoodConfig};
-use mood_exec::{ServicePool, SubmitError};
+use mood_exec::{ServicePool, SubmitError, SubmitGate};
 use mood_trace::Dataset;
 
 use crate::api::{
     request_seed, BatchRequest, BatchResponse, ConfigResponse, EngineTemplate, ErrorBody,
     ProtectRequest, ProtectResponse, ProtectResult,
 };
+use crate::chaos::{ChaosConfig, FaultKind, FaultPlan};
 use crate::http::{Conn, Request, RequestOutcome, Response};
 use crate::metrics::{Endpoint, ServerMetrics};
 
@@ -62,6 +63,14 @@ pub struct ServeConfig {
     /// How long a partially received request may dribble in before the
     /// connection is answered with 408.
     pub request_timeout: Duration,
+    /// Seeded fault injection ([`crate::chaos`]); `None` (the default)
+    /// disables chaos entirely — every injection point reduces to one
+    /// `Option` check.
+    pub chaos: Option<ChaosConfig>,
+    /// Default per-request candidate budget (deadline-aware graceful
+    /// degradation); a request's own [`ProtectRequest::budget`] takes
+    /// precedence. `None` means unlimited.
+    pub candidate_budget: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -76,8 +85,17 @@ impl Default for ServeConfig {
             max_pending: 128,
             keep_alive: Duration::from_secs(5),
             request_timeout: Duration::from_secs(5),
+            chaos: None,
+            candidate_budget: None,
         }
     }
+}
+
+/// One accepted connection traveling through the [`ServicePool`]: the
+/// stream plus its seeded fault schedule (`None` when chaos is off).
+struct ConnJob {
+    stream: TcpStream,
+    plan: Option<FaultPlan>,
 }
 
 /// State shared by the acceptor, the connection workers and the handle.
@@ -88,6 +106,9 @@ struct ServerShared {
     config: ServeConfig,
     addr: SocketAddr,
     shutdown: AtomicBool,
+    /// Monotone connection ids: the `connection_id` of every fault
+    /// decision, assigned at accept time.
+    connection_seq: AtomicU64,
 }
 
 /// A running protection server. Shut it down explicitly with
@@ -97,7 +118,7 @@ struct ServerShared {
 pub struct MoodServer {
     shared: Arc<ServerShared>,
     acceptor: Option<JoinHandle<()>>,
-    pool: Option<Arc<ServicePool<TcpStream>>>,
+    pool: Option<Arc<ServicePool<ConnJob>>>,
 }
 
 impl std::fmt::Debug for MoodServer {
@@ -127,16 +148,27 @@ impl MoodServer {
             config,
             addr,
             shutdown: AtomicBool::new(false),
+            connection_seq: AtomicU64::new(0),
         });
 
         let worker_shared = Arc::clone(&shared);
-        let pool = Arc::new(ServicePool::new(
+        // The forced-shedding injection point: chaos-flagged jobs are
+        // rejected by the pool itself as `Full`, exercising the real
+        // shed path. Fault decisions are stateless re-derivations, so
+        // the gate needs no shared state — and without chaos no gate is
+        // installed at all.
+        let gate: Option<SubmitGate<ConnJob>> = shared.config.chaos.map(|_| {
+            Box::new(|job: &ConnJob| job.plan.as_ref().is_some_and(|plan| plan.shed()))
+                as SubmitGate<ConnJob>
+        });
+        let pool = Arc::new(ServicePool::with_submit_gate(
             "mood-serve",
             shared.config.connection_workers,
             shared.config.max_pending,
-            move |_slot, stream: TcpStream| {
-                handle_connection(&worker_shared, stream);
+            move |_slot, job: ConnJob| {
+                handle_connection(&worker_shared, job);
             },
+            gate,
         ));
 
         let acceptor_shared = Arc::clone(&shared);
@@ -214,19 +246,42 @@ impl Drop for MoodServer {
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, shared: &ServerShared, pool: &ServicePool<TcpStream>) {
+fn acceptor_loop(listener: &TcpListener, shared: &ServerShared, pool: &ServicePool<ConnJob>) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         let Ok(stream) = stream else { continue };
         shared.metrics.record_connection();
-        match pool.try_submit(stream) {
+        let connection_id = shared.connection_seq.fetch_add(1, Ordering::Relaxed);
+        let plan = shared
+            .config
+            .chaos
+            .map(|chaos| FaultPlan::new(chaos, connection_id));
+        // Injection point 1: accept-time connection drop — the client
+        // sees an immediate EOF/reset, the retryable "server died on
+        // us" failure.
+        if let Some(plan) = &plan {
+            if plan.accept_drop() {
+                shared.metrics.record_fault(FaultKind::AcceptDrop);
+                drop(stream);
+                continue;
+            }
+        }
+        match pool.try_submit(ConnJob { stream, plan }) {
             Ok(()) => {}
-            Err(SubmitError::Full(mut stream) | SubmitError::ShuttingDown(mut stream)) => {
+            Err(SubmitError::Full(mut job) | SubmitError::ShuttingDown(mut job)) => {
                 // Shed load inline; never block the accept loop. Sheds
                 // count as status-only responses — they carry no
-                // handling latency for the histogram.
+                // handling latency for the histogram. Injection point
+                // 2 lands here too: a chaos-gated job surfaces as
+                // `Full` (the decision is stateless, so re-deriving it
+                // for the counter agrees with the pool's gate).
+                if let Some(plan) = &job.plan {
+                    if plan.shed() {
+                        shared.metrics.record_fault(FaultKind::Shed);
+                    }
+                }
                 shared.metrics.record_overload();
                 shared.metrics.record_error_status(503);
                 let resp = Response::json(
@@ -236,14 +291,15 @@ fn acceptor_loop(listener: &TcpListener, shared: &ServerShared, pool: &ServicePo
                     },
                 )
                 .closing();
-                let _ = resp.write_to(&mut stream);
+                let _ = resp.write_to(&mut job.stream);
             }
         }
     }
 }
 
 /// Serves one connection until close, idle timeout or shutdown.
-fn handle_connection(shared: &ServerShared, stream: TcpStream) {
+fn handle_connection(shared: &ServerShared, job: ConnJob) {
+    let ConnJob { stream, mut plan } = job;
     let Ok(mut conn) = Conn::new(stream, READ_POLL) else {
         return;
     };
@@ -284,6 +340,21 @@ fn handle_connection(shared: &ServerShared, stream: TcpStream) {
             }
             RequestOutcome::Complete(request) => {
                 let started = Instant::now();
+                if let Some(plan) = &plan {
+                    // Injection point 3: artificial handler delay. The
+                    // response bytes are untouched — pure latency.
+                    if let Some(pause) = plan.delay() {
+                        shared.metrics.record_fault(FaultKind::Delay);
+                        std::thread::sleep(pause);
+                    }
+                    // Injection point 4: handler panic. The pool's
+                    // catch_unwind keeps the worker alive; the client
+                    // sees the connection die mid-request.
+                    if plan.panic() {
+                        shared.metrics.record_fault(FaultKind::Panic);
+                        panic!("chaos: injected handler panic");
+                    }
+                }
                 let mut resp = route(shared, &request);
                 if request.close || shared.shutdown.load(Ordering::Acquire) {
                     resp.close = true;
@@ -291,6 +362,19 @@ fn handle_connection(shared: &ServerShared, stream: TcpStream) {
                 shared
                     .metrics
                     .record_response(resp.status, started.elapsed());
+                // Injection point 5: mid-response truncation. The head
+                // promises the full body, so the client detects an
+                // unambiguous (and retryable) cut — never a plausible
+                // short response.
+                if let Some(plan) = &mut plan {
+                    let truncate = plan.truncate();
+                    plan.next_request();
+                    if truncate {
+                        shared.metrics.record_fault(FaultKind::Truncate);
+                        let _ = conn.write_response_truncated(&resp);
+                        return;
+                    }
+                }
                 let close = resp.close;
                 if conn.write_response(&resp).is_err() || close {
                     return;
@@ -413,11 +497,15 @@ fn handle_protect(shared: &ServerShared, body: &[u8]) -> Response {
         Err(resp) => return resp,
     };
     let seed = request_seed(shared.config.server_seed, request.request_id);
+    let budget = request.budget.or(shared.config.candidate_budget);
     let engine = shared
         .template
-        .engine_for_on(seed, Arc::clone(&shared.executor));
+        .engine_for_request(seed, Arc::clone(&shared.executor), budget);
     let outcome = engine.protect_user(&request.trace);
     shared.metrics.add_users(1);
+    if outcome.degraded {
+        shared.metrics.add_degraded_results(1);
+    }
     record_engine_scratch(shared, &engine);
     Response::json(
         200,
@@ -454,11 +542,15 @@ fn handle_batch(shared: &ServerShared, body: &[u8]) -> Response {
         }
     };
     let seed = request_seed(shared.config.server_seed, request.request_id);
+    let budget = request.budget.or(shared.config.candidate_budget);
     let engine = shared
         .template
-        .engine_for_on(seed, Arc::clone(&shared.executor));
-    let report = protect_stream(&engine, &dataset, shared.executor.as_ref(), |_outcome| {
+        .engine_for_request(seed, Arc::clone(&shared.executor), budget);
+    let report = protect_stream(&engine, &dataset, shared.executor.as_ref(), |outcome| {
         shared.metrics.add_users(1);
+        if outcome.degraded {
+            shared.metrics.add_degraded_results(1);
+        }
     });
     record_engine_scratch(shared, &engine);
     match report {

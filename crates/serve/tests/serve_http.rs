@@ -12,7 +12,7 @@ use std::time::Duration;
 use mood_core::{protect_stream, ExecutorKind};
 use mood_serve::{
     fetch, request_seed, BatchRequest, BatchResponse, Client, EngineTemplate, MoodServer,
-    ProtectRequest, ProtectResponse, ProtectResult, ServeConfig,
+    ProtectRequest, ProtectResponse, ProtectResult, RetryClient, RetryPolicy, ServeConfig,
 };
 use mood_synth::presets;
 use mood_trace::{Dataset, TimeDelta, Trace};
@@ -106,6 +106,7 @@ fn smoke_healthz_protect_roundtrip_and_clean_shutdown() {
     let request = ProtectRequest {
         request_id: 1,
         trace: trace.clone(),
+        budget: None,
     };
     let resp = client.post_json("/v1/protect", &request).expect("protect");
     assert_eq!(resp.status, 200, "{:?}", resp.text());
@@ -303,6 +304,7 @@ fn keep_alive_serves_many_requests_on_one_connection() {
         let request = ProtectRequest {
             request_id,
             trace: trace.clone(),
+            budget: None,
         };
         let resp = client.post_json("/v1/protect", &request).expect("protect");
         assert_eq!(resp.status, 200);
@@ -341,6 +343,7 @@ fn concurrent_protect_is_byte_identical_to_offline_protect_stream() {
                 let request = ProtectRequest {
                     request_id,
                     trace: trace.clone(),
+                    budget: None,
                 };
                 let resp = client.post_json("/v1/protect", &request).expect("protect");
                 assert_eq!(resp.status, 200, "{:?}", resp.text());
@@ -371,6 +374,7 @@ fn batch_equals_single_requests_with_the_same_request_id() {
     let batch = BatchRequest {
         request_id,
         traces: traces.clone(),
+        budget: None,
     };
     let resp = client
         .post_json("/v1/protect/batch", &batch)
@@ -389,6 +393,7 @@ fn batch_equals_single_requests_with_the_same_request_id() {
         let request = ProtectRequest {
             request_id,
             trace: trace.clone(),
+            budget: None,
         };
         let single: ProtectResponse = client
             .post_json("/v1/protect", &request)
@@ -408,6 +413,47 @@ fn batch_equals_single_requests_with_the_same_request_id() {
         );
         assert_eq!(single.seed, batch.seed, "seed derivation must match");
     }
+    server.shutdown();
+}
+
+#[test]
+fn idempotent_replay_after_a_dropped_connection_is_byte_identical() {
+    let server = start_server(test_config());
+    let addr = server.local_addr();
+    let (_, test, _) = world();
+    let trace = test.iter().next().expect("non-empty test set").clone();
+    let request = ProtectRequest {
+        request_id: 99,
+        trace,
+        budget: None,
+    };
+
+    let mut client = RetryClient::new(addr.to_string(), RetryPolicy::default()).verifying();
+    let first = client.post_json("/v1/protect", &request).expect("first");
+    assert_eq!(first.status, 200, "{:?}", first.text());
+
+    // A client that gives up mid-request: the server sees a truncated
+    // body followed by a dead socket — the wire-level "network drop"
+    // that makes retrying-with-the-same-request_id necessary.
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect raw");
+        raw.write_all(
+            b"POST /v1/protect HTTP/1.1\r\ncontent-length: 500\r\n\r\n{\"request_id\":99,",
+        )
+        .expect("partial write");
+        // Dropped here without finishing the body.
+    }
+
+    // Replaying the identical request on a fresh connection must
+    // return identical bytes — the determinism contract is what makes
+    // blind client retries safe.
+    let mut fresh = RetryClient::new(addr.to_string(), RetryPolicy::default()).verifying();
+    let second = fresh.post_json("/v1/protect", &request).expect("replay");
+    assert_eq!(second.status, 200, "{:?}", second.text());
+    assert_eq!(
+        first.body, second.body,
+        "replayed request_id must serve byte-identical bytes"
+    );
     server.shutdown();
 }
 
@@ -453,6 +499,7 @@ fn server_shutdown_joins_all_threads() {
         let request = ProtectRequest {
             request_id: round,
             trace: trace.clone(),
+            budget: None,
         };
         assert_eq!(
             client

@@ -146,6 +146,14 @@ fn main() {
     let batch_wall = batch_started.elapsed().as_secs_f64();
     let batch_row = row_from("protect_batch", 1, batch_lat, batch_wall);
 
+    // --- flight recorder export: the artifact CI uploads ---
+    let resp = client
+        .get("/v1/debug/trace?limit=64")
+        .expect("flight recorder export");
+    assert_eq!(resp.status, 200, "debug trace failed: {:?}", resp.text());
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/flight_recorder.json", &resp.body).expect("write flight recorder");
+
     // --- chaos_disabled_overhead: with `chaos: None` every injection
     // point is a cold `Option` check; measure the cheapest request we
     // have so any per-request cost shows up instead of drowning in
@@ -201,6 +209,22 @@ fn main() {
         metrics.scratch_reuses_total(),
         metrics.connections_total()
     );
+    if let Some(recorder) = server.recorder() {
+        println!("per-stage pipeline time (traced requests):");
+        for histo in recorder.stage_histograms() {
+            println!(
+                "  {:<18} {:>8} obs {:>10.2} ms total",
+                histo.stage,
+                histo.count,
+                histo.sum_us as f64 / 1e3
+            );
+        }
+        println!(
+            "flight recorder: {} traces recorded ({} slow) -> results/flight_recorder.json",
+            recorder.recorded_total(),
+            recorder.slow_total()
+        );
+    }
     server.shutdown();
 
     // Armed-but-silent comparison: chaos enabled with every probability
@@ -215,7 +239,7 @@ fn main() {
             }),
             ..ServeConfig::default()
         };
-        let armed = MoodServer::start(armed_config, template).expect("bind armed server");
+        let armed = MoodServer::start(armed_config, template.clone()).expect("bind armed server");
         let mut armed_client = Client::connect(armed.local_addr()).expect("connect armed client");
         // The disabled loop above ran on a long-warmed server; give the
         // fresh one the same treatment before timing.
@@ -239,10 +263,82 @@ fn main() {
         armed.shutdown();
     }
 
+    // --- tracing overhead: identical sequential protect workloads on
+    // two fresh servers, tracing off vs on. The traced run is recorded
+    // as `tracing_overhead`, so the committed baseline guards the cost
+    // of the span layer on the request hot path.
+    let overhead_requests = (users * 2).max(16);
+    let measure_protect = |config: ServeConfig, label: &str| -> ServeLatencyRow {
+        let server = MoodServer::start(config, template.clone()).expect("bind overhead server");
+        let mut client = Client::connect(server.local_addr()).expect("connect overhead client");
+        for (i, trace) in traces.iter().take(4.min(users)).enumerate() {
+            let request = ProtectRequest {
+                request_id: 2_000_000 + i as u64,
+                trace: trace.clone(),
+                budget: None,
+            };
+            let resp = client
+                .post_json("/v1/protect", &request)
+                .expect("overhead warmup");
+            assert_eq!(
+                resp.status,
+                200,
+                "overhead warmup failed: {:?}",
+                resp.text()
+            );
+        }
+        let started = Instant::now();
+        let mut lat: Vec<f64> = Vec::with_capacity(overhead_requests);
+        for i in 0..overhead_requests {
+            let request = ProtectRequest {
+                request_id: i as u64,
+                trace: traces[i % traces.len()].clone(),
+                budget: None,
+            };
+            let t0 = Instant::now();
+            let resp = client
+                .post_json("/v1/protect", &request)
+                .expect("overhead request");
+            assert_eq!(
+                resp.status,
+                200,
+                "overhead request failed: {:?}",
+                resp.text()
+            );
+            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let wall = started.elapsed().as_secs_f64();
+        server.shutdown();
+        row_from(label, 1, lat, wall)
+    };
+    let untraced_row = measure_protect(
+        ServeConfig {
+            connection_workers: 2,
+            executor_threads: threads.max(1),
+            tracing: None,
+            ..ServeConfig::default()
+        },
+        "protect_untraced",
+    );
+    let traced_row = measure_protect(
+        ServeConfig {
+            connection_workers: 2,
+            executor_threads: threads.max(1),
+            ..ServeConfig::default()
+        },
+        "tracing_overhead",
+    );
+    println!(
+        "tracing: untraced p50 {:.2} ms vs traced p50 {:.2} ms ({:+.1}%)",
+        untraced_row.p50_ms,
+        traced_row.p50_ms,
+        (traced_row.p50_ms / untraced_row.p50_ms.max(1e-9) - 1.0) * 100.0
+    );
+
     let doc = ServeLatencyReport {
         dataset: ctx.spec.name.clone(),
         scale_note: format!("privamov-like scaled by {scale}"),
-        rows: vec![protect_row, batch_row, chaos_row],
+        rows: vec![protect_row, batch_row, chaos_row, untraced_row, traced_row],
     };
     mood_bench::perf::write_json(SERVE_LATENCY_PATH, &doc).expect("write serve latency results");
     println!(

@@ -8,14 +8,18 @@
 //! * `mood attack`  — run the re-identification attacks against a dataset
 //! * `mood eval`    — count-query utility of a protected dataset vs the original
 //! * `mood serve`   — run the long-running HTTP protection service
+//! * `mood trace`   — protect a dataset with tracing on, dump a Chrome trace
 //!
 //! Run `mood help` for per-command usage.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
-use mood_core::{publish, EngineBuilder, ExecutorKind, MoodConfig};
+use mood_core::obs::{chrome_trace, StageAgg, TraceSpans};
+use mood_core::{publish, EngineBuilder, ExecutorKind, MoodConfig, ENGINE_STAGES};
 use mood_geo::Grid;
 use mood_metrics::CountQueryStats;
 use mood_serve::{ChaosConfig, MoodServer, ServeConfig};
@@ -41,7 +45,10 @@ USAGE:
                [--threads <n>] [--executor <sequential|pool|steal|persistent>]
                [--workers <n>] [--seed <n>] [--max-requests <n=0 (forever)>]
                [--budget <n>] [--chaos-profile <drop|shed|delay|panic|truncate|all|a+b>]
-               [--chaos-seed <n>]
+               [--chaos-seed <n>] [--tracing <0|1=1>] [--legacy-metric-names <0|1=0>]
+  mood trace   --input <test.csv> --background <train.csv> --trace-out <file.json>
+               [--seed <n>] [--delta-hours <n=4>] [--window-hours <n=24>]
+               [--limit-users <n=0 (all)>]
   mood help
 
 `mood protect` streams per-user progress to stderr as results complete;
@@ -58,7 +65,19 @@ then shuts down cleanly (for smoke tests), 0 means run until killed.
 --budget caps candidates scored per request (over-budget responses are
 served degraded, deterministically); --chaos-profile arms seeded fault
 injection (drop/shed/delay/panic/truncate, `+`-combinable; counted in
-/metrics) with --chaos-seed picking the fault stream.
+/metrics) with --chaos-seed picking the fault stream. Tracing (the
+flight recorder behind GET /v1/debug/trace plus per-stage histograms
+in /metrics) is on by default; --tracing 0 serves untraced.
+--legacy-metric-names 1 additionally emits the old unprefixed
+attack_scratch_reuses_total / heatmap_cache_total series during a
+dashboard migration (the primary names are now mood_serve_-prefixed).
+
+`mood trace` protects a dataset sequentially with per-stage tracing on
+and writes --trace-out as Chrome-trace-viewer JSON (load it in
+chrome://tracing or https://ui.perfetto.dev): one lane per user, one
+span per engine stage. Span ids are deterministic — derived from
+(--seed, user index), never wall-clock — so two runs produce the same
+trace structure; only the measured durations differ.
 ";
 
 fn main() -> ExitCode {
@@ -75,6 +94,7 @@ fn main() -> ExitCode {
         "attack" => cmd_attack(&opts),
         "eval" => cmd_eval(&opts),
         "serve" => cmd_serve(&opts),
+        "trace" => cmd_trace(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -379,7 +399,9 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         background.user_count(),
         background.record_count()
     );
-    let config = ServeConfig {
+    let tracing_on = parse_or(opts, "tracing", 1u8)? != 0;
+    let legacy_metric_names = parse_or(opts, "legacy-metric-names", 0u8)? != 0;
+    let mut config = ServeConfig {
         addr,
         connection_workers: workers.max(1),
         executor: executor_kind,
@@ -387,8 +409,12 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         server_seed: seed,
         chaos,
         candidate_budget,
+        legacy_metric_names,
         ..ServeConfig::default()
     };
+    if !tracing_on {
+        config.tracing = None;
+    }
     let server = MoodServer::start_paper_default(config, &background).map_err(|e| e.to_string())?;
     if let Some(chaos) = chaos {
         println!(
@@ -401,7 +427,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         server.local_addr(),
         workers.max(1)
     );
-    println!("  GET /healthz | GET /v1/config | GET /metrics | POST /v1/protect | POST /v1/protect/batch");
+    println!("  GET /healthz | GET /v1/config | GET /metrics | GET /v1/debug/trace | POST /v1/protect | POST /v1/protect/batch");
     if max_requests == 0 {
         // Run until the process is killed; the acceptor and workers do
         // the serving, this thread just stays out of the way.
@@ -416,6 +442,84 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let users = server.metrics().users_protected_total();
     server.shutdown();
     println!("served {served} responses ({users} users protected); shut down cleanly");
+    Ok(())
+}
+
+fn cmd_trace(opts: &HashMap<String, String>) -> Result<(), String> {
+    let input = required(opts, "input")?;
+    let background_path = required(opts, "background")?;
+    let trace_out = required(opts, "trace-out")?;
+    let delta_hours: i64 = parse_or(opts, "delta-hours", 4)?;
+    let window_hours: i64 = parse_or(opts, "window-hours", 24)?;
+    let seed: u64 = parse_or(opts, "seed", MoodConfig::paper_default().seed)?;
+    let limit: usize = parse_or(opts, "limit-users", 0)?;
+    if delta_hours <= 0 || window_hours <= 0 {
+        return Err("--delta-hours and --window-hours must be positive".into());
+    }
+
+    let background = trace_io::read_csv_file(background_path).map_err(|e| e.to_string())?;
+    let test = trace_io::read_csv_file(input).map_err(|e| e.to_string())?;
+    if background.is_empty() || test.is_empty() {
+        return Err("input datasets must not be empty".into());
+    }
+
+    let mut config = MoodConfig::paper_default();
+    config.delta = TimeDelta::from_hours(delta_hours);
+    config.initial_window = Some(TimeDelta::from_hours(window_hours));
+    config.seed = seed;
+    // Sequential on purpose: one user at a time means the shared stage
+    // aggregate drained after each user is exactly that user's work.
+    let agg = Arc::new(StageAgg::new(&ENGINE_STAGES));
+    let engine = EngineBuilder::paper_default(&background)
+        .config(config)
+        .stage_observer(Arc::clone(&agg))
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    let mut records = Vec::new();
+    let mut totals: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for (index, trace) in test.iter().enumerate() {
+        if limit > 0 && index >= limit {
+            break;
+        }
+        // The same id the server would assign to request_id = index:
+        // offline traces line up with online ones for the same seed.
+        let spans = TraceSpans::new(mood_serve::request_seed(seed, index as u64));
+        let root = spans.begin("protect_user");
+        spans.attr(root, "user", trace.user());
+        let outcome = engine.protect_user(trace);
+        for total in agg.drain() {
+            let entry = totals.entry(total.stage).or_insert((0, 0));
+            entry.0 += total.ns;
+            entry.1 += total.count;
+            spans.child_complete(
+                root,
+                total.stage,
+                Duration::from_nanos(total.ns),
+                total.count,
+            );
+        }
+        spans.attr(root, "class", outcome.class);
+        spans.end(root);
+        if let Some(record) = spans.finish() {
+            records.push(record);
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&chrome_trace(&records)).map_err(|e| e.to_string())?;
+    std::fs::write(trace_out, json).map_err(|e| e.to_string())?;
+
+    println!("per-stage totals over {} users:", records.len());
+    for (stage, (ns, count)) in &totals {
+        println!(
+            "  {stage:<20} {:>10.2} ms  ({count} units)",
+            *ns as f64 / 1e6
+        );
+    }
+    println!(
+        "wrote Chrome trace ({} users) -> {trace_out} (open in chrome://tracing or ui.perfetto.dev)",
+        records.len()
+    );
     Ok(())
 }
 

@@ -1,6 +1,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
+use mood_obs::StageAgg;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -162,7 +164,27 @@ pub struct EngineBuilder {
     executor: Arc<dyn Executor>,
     store: Option<Arc<ProfileStore>>,
     candidate_budget: usize,
+    obs: Option<Arc<StageAgg>>,
 }
+
+/// Stage-name table for the engine's optional per-stage observer
+/// ([`EngineBuilder::stage_observer`]), in pipeline order. Indices into
+/// this table are what the engine records under; note that
+/// `candidate_eval` runs *inside* the search stages (and `fine_grained`
+/// re-enters them per sub-trace), so the totals overlap hierarchically
+/// rather than summing to wall time.
+pub const ENGINE_STAGES: [&str; 5] = [
+    "raw_check",
+    "search_single",
+    "search_composition",
+    "fine_grained",
+    "candidate_eval",
+];
+const STAGE_RAW_CHECK: usize = 0;
+const STAGE_SEARCH_SINGLE: usize = 1;
+const STAGE_SEARCH_COMPOSITION: usize = 2;
+const STAGE_FINE_GRAINED: usize = 3;
+const STAGE_CANDIDATE_EVAL: usize = 4;
 
 /// The builder's LPPM set: either composed piecewise (`Owned`) or taken
 /// wholesale from another engine without copying (`Shared`).
@@ -205,6 +227,7 @@ impl EngineBuilder {
             executor: Arc::new(SequentialExecutor),
             store: None,
             candidate_budget: usize::MAX,
+            obs: None,
         }
     }
 
@@ -325,6 +348,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a per-stage duration observer (build it over
+    /// [`ENGINE_STAGES`]). Purely observational: stage wall-clock totals
+    /// and operation counts accumulate into `agg`, and protection
+    /// results stay bit-identical with or without an observer. When no
+    /// observer is attached (the default) the engine never reads the
+    /// clock on the protection path.
+    pub fn stage_observer(mut self, agg: Arc<StageAgg>) -> Self {
+        self.obs = Some(agg);
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Errors
@@ -353,6 +387,7 @@ impl EngineBuilder {
             scratch: ScratchPool::new(),
             store: self.store,
             candidate_budget: self.candidate_budget,
+            obs: self.obs,
         })
     }
 }
@@ -387,6 +422,7 @@ pub struct MoodEngine {
     scratch: ScratchPool,
     store: Option<Arc<ProfileStore>>,
     candidate_budget: usize,
+    obs: Option<Arc<StageAgg>>,
 }
 
 /// Per-`protect_user` candidate budget: how many variants may still be
@@ -632,12 +668,31 @@ impl MoodEngine {
         trace: &Trace,
         jobs: &[CandidateJob<'_>],
     ) -> Vec<Option<ProtectedTrace>> {
-        exec::map_indexed_with(
-            self.executor.as_ref(),
-            jobs.len(),
-            || self.scratch.take(),
-            |lease, i| self.evaluate_candidate(trace, jobs[i], lease.scratch_mut()),
-        )
+        // One aggregated observation for the whole batch (count =
+        // candidates), never a per-candidate span: overhead stays
+        // bounded by batch count, not candidate count.
+        self.observe(STAGE_CANDIDATE_EVAL, jobs.len() as u64, || {
+            exec::map_indexed_with(
+                self.executor.as_ref(),
+                jobs.len(),
+                || self.scratch.take(),
+                |lease, i| self.evaluate_candidate(trace, jobs[i], lease.scratch_mut()),
+            )
+        })
+    }
+
+    /// Runs `f`, attributing its wall time to `stage` when an observer
+    /// is attached. Without one, this is exactly `f()` — no clock read.
+    fn observe<R>(&self, stage: usize, count: u64, f: impl FnOnce() -> R) -> R {
+        match &self.obs {
+            Some(agg) => {
+                let t0 = Instant::now();
+                let out = f();
+                agg.record_n(stage, t0.elapsed().as_nanos() as u64, count);
+                out
+            }
+            None => f(),
+        }
     }
 
     /// Tries every variant in `variants`, keeping the resilient one
@@ -693,7 +748,9 @@ impl MoodEngine {
     }
 
     fn search_single_in(&self, trace: &Trace, budget: &mut BudgetState) -> Option<ProtectedTrace> {
-        self.best_resilient(trace, self.base.iter().map(|l| l as &dyn Lppm), 0, budget)
+        self.observe(STAGE_SEARCH_SINGLE, 1, || {
+            self.best_resilient(trace, self.base.iter().map(|l| l as &dyn Lppm), 0, budget)
+        })
     }
 
     /// Composition stage (lines 16–26): the resilient composition with
@@ -711,12 +768,14 @@ impl MoodEngine {
         trace: &Trace,
         budget: &mut BudgetState,
     ) -> Option<ProtectedTrace> {
-        self.best_resilient(
-            trace,
-            self.compositions.iter().map(|c| c as &dyn Lppm),
-            self.base.len(),
-            budget,
-        )
+        self.observe(STAGE_SEARCH_COMPOSITION, 1, || {
+            self.best_resilient(
+                trace,
+                self.compositions.iter().map(|c| c as &dyn Lppm),
+                self.base.len(),
+                budget,
+            )
+        })
     }
 
     /// The whole-trace Multi-LPPM Composition Search: singles first,
@@ -783,13 +842,15 @@ impl MoodEngine {
         // variants are about to re-raster. It is deliberately outside
         // the candidate budget: the user's taxonomy class must not
         // depend on how much compute the request was granted.
-        let naturally_protected = if self.executor.max_threads() > 1 {
-            self.suite.protects_concurrent(trace, trace.user())
-        } else {
-            let mut lease = self.scratch.take();
-            self.suite
-                .protects_with(trace, trace.user(), &mut lease.scratch_mut().attack)
-        };
+        let naturally_protected = self.observe(STAGE_RAW_CHECK, 1, || {
+            if self.executor.max_threads() > 1 {
+                self.suite.protects_concurrent(trace, trace.user())
+            } else {
+                let mut lease = self.scratch.take();
+                self.suite
+                    .protects_with(trace, trace.user(), &mut lease.scratch_mut().attack)
+            }
+        });
 
         let mut budget = BudgetState::new(self.candidate_budget);
         if let Some((protected, via_composition)) = self.search_whole_in(trace, &mut budget) {
@@ -816,14 +877,14 @@ impl MoodEngine {
         // since the cut point is fixed by (budget, candidates scored).
         let mut published = Vec::new();
         let mut stats = FineGrainedStats::default();
-        match self.config.initial_window {
+        self.observe(STAGE_FINE_GRAINED, 1, || match self.config.initial_window {
             Some(window) => {
                 for sub in trace.windows(window) {
                     self.protect_recursive(&sub, &mut published, &mut stats, &mut budget);
                 }
             }
             None => self.protect_recursive(trace, &mut published, &mut stats, &mut budget),
-        }
+        });
 
         let class = if naturally_protected {
             UserClass::NaturallyProtected
@@ -1136,6 +1197,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stage_observer_changes_nothing_but_records_stages() {
+        let (bg, test) = mini_world();
+        let plain = MoodEngine::paper_default(&bg);
+        let agg = Arc::new(StageAgg::new(&ENGINE_STAGES));
+        let observed = EngineBuilder::paper_default(&bg)
+            .stage_observer(Arc::clone(&agg))
+            .build()
+            .unwrap();
+        for trace in test.iter().take(4) {
+            assert_eq!(
+                plain.protect_user(trace),
+                observed.protect_user(trace),
+                "observer must not change protection results for {}",
+                trace.user()
+            );
+        }
+        let totals = agg.snapshot();
+        let stage = |name: &str| totals.iter().find(|t| t.stage == name);
+        let raw = stage("raw_check").expect("raw check observed");
+        assert_eq!(raw.count, 4, "one raw check per user");
+        let eval = stage("candidate_eval").expect("candidate evaluation observed");
+        assert!(
+            eval.count >= 4 * 3,
+            "at least one single-LPPM batch per user, got {}",
+            eval.count
+        );
+        assert!(
+            stage("search_single").is_some(),
+            "single-LPPM stage observed"
+        );
     }
 
     #[test]

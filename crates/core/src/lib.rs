@@ -57,12 +57,13 @@ mod report;
 mod split;
 
 pub use config::MoodConfig;
-pub use engine::{EngineBuilder, EngineError, MoodEngine};
+pub use engine::{EngineBuilder, EngineError, MoodEngine, ENGINE_STAGES};
 pub use exec::{
     CandidateJob, Executor, ExecutorKind, PersistentPoolExecutor, ScopedPoolExecutor,
     SequentialExecutor, WorkStealingExecutor,
 };
 pub use hybrid::HybridLppm;
+pub use mood_obs as obs;
 pub use outcome::{FineGrainedStats, ProtectedTrace, ProtectionOutcome, UserClass, UserProtection};
 pub use pipeline::{protect_dataset, protect_dataset_with, protect_stream, publish, StreamError};
 pub use report::{DistortionEntry, ProtectionReport};

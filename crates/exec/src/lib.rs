@@ -53,7 +53,7 @@ mod stealing;
 pub use persistent::PersistentPoolExecutor;
 pub use pool::ScopedPoolExecutor;
 pub use sequential::SequentialExecutor;
-pub use service::{ServicePool, SubmitError, SubmitGate};
+pub use service::{QueueStats, ServicePool, SubmitError, SubmitGate};
 pub use stealing::WorkStealingExecutor;
 
 use std::str::FromStr;

@@ -18,6 +18,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Why [`ServicePool::try_submit`] rejected a job; the job is handed
 /// back so the caller can dispose of it (e.g. answer 503 and close).
@@ -30,7 +31,9 @@ pub enum SubmitError<T> {
 }
 
 struct ServiceState<T> {
-    queue: VecDeque<T>,
+    /// Each job carries its enqueue instant so workers can attribute
+    /// queue-wait time (observability-only; never affects results).
+    queue: VecDeque<(T, Instant)>,
     shutdown: bool,
 }
 
@@ -41,6 +44,27 @@ struct ServiceShared<T> {
     capacity: usize,
     /// Handler invocations that panicked (caught; the worker survives).
     panics: AtomicU64,
+    /// Jobs currently inside a handler.
+    in_flight: AtomicU64,
+    /// Total queue-wait nanoseconds across dequeued jobs.
+    wait_ns: AtomicU64,
+    /// Jobs claimed by a worker since construction.
+    dequeued: AtomicU64,
+}
+
+/// A point-in-time snapshot of a pool's queue health
+/// ([`ServicePool::queue_stats`]) — the source for the serve layer's
+/// queue-depth and in-flight gauges and its queue-wait summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs queued and not yet claimed by a worker.
+    pub pending: usize,
+    /// Jobs currently inside a handler.
+    pub in_flight: u64,
+    /// Jobs claimed by a worker since construction.
+    pub dequeued: u64,
+    /// Total time dequeued jobs spent waiting in the queue.
+    pub waited: Duration,
 }
 
 /// A fault-injection hook consulted by [`ServicePool::try_submit`]:
@@ -106,6 +130,9 @@ impl<T: Send + 'static> ServicePool<T> {
             work: Condvar::new(),
             capacity: capacity.max(1),
             panics: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            wait_ns: AtomicU64::new(0),
+            dequeued: AtomicU64::new(0),
         });
         let handler = Arc::new(handler);
         let workers = (0..threads)
@@ -146,7 +173,7 @@ impl<T: Send + 'static> ServicePool<T> {
         if state.queue.len() >= self.shared.capacity {
             return Err(SubmitError::Full(job));
         }
-        state.queue.push_back(job);
+        state.queue.push_back((job, Instant::now()));
         drop(state);
         self.shared.work.notify_one();
         Ok(())
@@ -170,6 +197,17 @@ impl<T: Send + 'static> ServicePool<T> {
     /// Handler invocations that panicked since construction.
     pub fn handler_panics(&self) -> u64 {
         self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of queue depth, in-flight jobs, and accumulated
+    /// queue-wait time.
+    pub fn queue_stats(&self) -> QueueStats {
+        QueueStats {
+            pending: self.pending(),
+            in_flight: self.shared.in_flight.load(Ordering::Relaxed),
+            dequeued: self.shared.dequeued.load(Ordering::Relaxed),
+            waited: Duration::from_nanos(self.shared.wait_ns.load(Ordering::Relaxed)),
+        }
     }
 
     /// Stops admissions, drains already-queued jobs and joins every
@@ -205,7 +243,7 @@ impl<T: Send + 'static> std::fmt::Debug for ServicePool<T> {
 
 fn service_loop<T: Send>(shared: &ServiceShared<T>, slot: usize, handler: &dyn Fn(usize, T)) {
     loop {
-        let job = {
+        let (job, enqueued) = {
             let mut state = shared.state.lock().expect("service state lock");
             loop {
                 if let Some(job) = state.queue.pop_front() {
@@ -217,9 +255,15 @@ fn service_loop<T: Send>(shared: &ServiceShared<T>, slot: usize, handler: &dyn F
                 state = shared.work.wait(state).expect("service state lock");
             }
         };
+        shared
+            .wait_ns
+            .fetch_add(enqueued.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.dequeued.fetch_add(1, Ordering::Relaxed);
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
         if catch_unwind(AssertUnwindSafe(|| handler(slot, job))).is_err() {
             shared.panics.fetch_add(1, Ordering::Relaxed);
         }
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -337,6 +381,48 @@ mod tests {
         pool.try_submit(2).unwrap();
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 2, "gated jobs never ran");
+    }
+
+    #[test]
+    fn queue_stats_track_depth_in_flight_and_wait() {
+        // One worker blocked on job 0; two jobs queued behind it, so
+        // the snapshot is deterministic: pending == 2, in_flight == 1.
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let gate = Arc::clone(&release);
+        let started = Arc::new((Mutex::new(false), Condvar::new()));
+        let started_tx = Arc::clone(&started);
+        let pool = ServicePool::new("svc-stats", 1, 8, move |_slot, _job: u32| {
+            let (lock, cv) = &*started_tx;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+            let (lock, cv) = &*gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        pool.try_submit(0).unwrap();
+        {
+            let (lock, cv) = &*started;
+            let mut s = lock.lock().unwrap();
+            while !*s {
+                s = cv.wait(s).unwrap();
+            }
+        }
+        pool.try_submit(1).unwrap();
+        pool.try_submit(2).unwrap();
+        let stats = pool.queue_stats();
+        assert_eq!(stats.pending, 2, "two jobs waiting behind the blocked one");
+        assert_eq!(stats.in_flight, 1, "one job inside the handler");
+        assert_eq!(stats.dequeued, 1);
+        let (lock, cv) = &*release;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.shutdown();
+        let stats = pool.queue_stats();
+        assert_eq!(stats.pending, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.dequeued, 3, "every job was eventually claimed");
     }
 
     #[cfg(target_os = "linux")]

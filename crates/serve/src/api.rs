@@ -240,6 +240,23 @@ pub struct ConfigResponse {
     pub attacks: usize,
 }
 
+/// Body of `GET /v1/debug/trace?limit=N`: the flight recorder's newest
+/// traces (oldest first) plus the slow-request log. Span structure and
+/// ids inside each record are deterministic; only the `*_us` timing
+/// fields vary across replays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceExport {
+    /// Traces ingested by the recorder since startup.
+    pub recorded_total: u64,
+    /// Traces that exceeded the slow-request threshold since startup.
+    pub slow_total: u64,
+    /// The newest `limit` traces from the recent ring.
+    pub traces: Vec<mood_obs::TraceRecord>,
+    /// The newest `limit` over-threshold traces (kept separately, so a
+    /// burst of fast requests cannot evict them).
+    pub slow: Vec<mood_obs::TraceRecord>,
+}
+
 /// Everything needed to build per-request engines cheaply: the trained
 /// attack suite and the LPPM set are shared by handle (`Arc` bumps, no
 /// retraining), only the seed differs per request.
@@ -302,6 +319,21 @@ impl EngineTemplate {
         executor: Arc<dyn Executor>,
         budget: Option<u64>,
     ) -> MoodEngine {
+        self.engine_for_request_observed(seed, executor, budget, None)
+    }
+
+    /// [`EngineTemplate::engine_for_request`] with an optional per-stage
+    /// duration observer ([`EngineBuilder::stage_observer`]) — the
+    /// tracing-enabled request path. Observation is duration-only:
+    /// the engine built here returns bit-identical results with or
+    /// without `obs`.
+    pub fn engine_for_request_observed(
+        &self,
+        seed: u64,
+        executor: Arc<dyn Executor>,
+        budget: Option<u64>,
+        obs: Option<Arc<mood_obs::StageAgg>>,
+    ) -> MoodEngine {
         let mut config = self.config;
         config.seed = seed;
         let mut builder = EngineBuilder::new(Arc::clone(&self.suite))
@@ -313,6 +345,9 @@ impl EngineTemplate {
         }
         if let Some(budget) = budget {
             builder = builder.candidate_budget(usize::try_from(budget).unwrap_or(usize::MAX));
+        }
+        if let Some(obs) = obs {
+            builder = builder.stage_observer(obs);
         }
         builder
             .build()

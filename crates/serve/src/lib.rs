@@ -11,9 +11,10 @@
 //! |---|---|---|
 //! | `/healthz` | GET | liveness probe (`ok`) |
 //! | `/v1/config` | GET | the running server's shape (JSON) |
-//! | `/metrics` | GET | Prometheus text: requests, latency histogram, `scratch_reuses`, executor backend/threads |
+//! | `/metrics` | GET | Prometheus text: requests, latency + per-stage histograms, queue gauges, executor backend/threads |
 //! | `/v1/protect` | POST | one user trace in → protected trace + chosen LPPM + metrics out |
 //! | `/v1/protect/batch` | POST | many users, fanned out through the persistent executor via `protect_stream` |
+//! | `/v1/debug/trace` | GET | flight-recorder JSON: the last N request traces plus retained slow traces (`?limit=N`) |
 //!
 //! Connections are keep-alive and served by a dedicated worker pool
 //! ([`mood_exec::ServicePool`]) behind a bounded accept queue — when
@@ -37,6 +38,17 @@
 //! that a replayed `request_id` returns byte-identical bytes; and a
 //! per-request candidate budget ([`ProtectRequest::budget`]) degrades
 //! over-deadline requests gracefully and deterministically.
+//!
+//! **Observability:** when [`ServeConfig::tracing`] is `Some` (the
+//! default), every request carries a deterministic span tree
+//! ([`mood_obs::TraceSpans`] via [`mood_core::obs`]) — queue wait,
+//! parse, engine (with per-stage aggregate children from the core
+//! pipeline), respond, write — recorded into a bounded flight recorder
+//! ([`mood_obs::Recorder`]) served by `GET /v1/debug/trace`. Span ids
+//! and structure derive from `(server_seed, request_id)`, never from
+//! wall-clock; durations are observability-only, so served bytes are
+//! bit-identical with tracing on or off. Chaos faults and client
+//! retries surface as span events.
 //!
 //! # Examples
 //!
@@ -77,11 +89,14 @@ mod server;
 
 pub use api::{
     request_seed, BatchRequest, BatchResponse, ConfigResponse, EngineTemplate, ErrorBody,
-    ProtectRequest, ProtectResponse, ProtectResult, PublishedTrace,
+    ProtectRequest, ProtectResponse, ProtectResult, PublishedTrace, TraceExport,
 };
 pub use chaos::{ChaosConfig, FaultKind, FaultPlan};
 pub use client::{fetch, Client, ClientConfig, ClientResponse};
 pub use http::{reason_phrase, Conn, Request, RequestOutcome, Response, MAX_HEAD_BYTES};
-pub use metrics::{Endpoint, ServerMetrics};
-pub use retry::{RetryClient, RetryPolicy, RetryStats};
+pub use metrics::{escape_label_value, Endpoint, RenderScope, ServerMetrics};
+pub use mood_obs;
+pub use retry::{
+    retry_reason, retryable_io, retryable_status, RetryClient, RetryPolicy, RetryStats,
+};
 pub use server::{MoodServer, ServeConfig};

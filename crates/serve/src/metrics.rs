@@ -12,6 +12,8 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use mood_attacks::StoreCounters;
+use mood_exec::QueueStats;
+use mood_obs::{Recorder, STAGE_BUCKET_BOUNDS_US};
 
 use crate::chaos::FaultKind;
 
@@ -28,18 +30,21 @@ pub enum Endpoint {
     Protect,
     /// `POST /v1/protect/batch`
     ProtectBatch,
+    /// `GET /v1/debug/trace` (flight-recorder export)
+    DebugTrace,
     /// Anything else (404/405 traffic).
     Other,
 }
 
 impl Endpoint {
     /// Every endpoint, in rendering order.
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 7] = [
         Endpoint::Healthz,
         Endpoint::Config,
         Endpoint::Metrics,
         Endpoint::Protect,
         Endpoint::ProtectBatch,
+        Endpoint::DebugTrace,
         Endpoint::Other,
     ];
 
@@ -51,6 +56,7 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::Protect => "protect",
             Endpoint::ProtectBatch => "protect_batch",
+            Endpoint::DebugTrace => "debug_trace",
             Endpoint::Other => "other",
         }
     }
@@ -62,9 +68,50 @@ impl Endpoint {
             Endpoint::Metrics => 2,
             Endpoint::Protect => 3,
             Endpoint::ProtectBatch => 4,
-            Endpoint::Other => 5,
+            Endpoint::DebugTrace => 5,
+            Endpoint::Other => 6,
         }
     }
+}
+
+/// Escapes a dynamic Prometheus label value per the text exposition
+/// rules: backslash, double quote and newline must be escaped; every
+/// other byte passes through.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Everything the `/metrics` renderer needs beyond the counters
+/// themselves: the server's static shape, live queue gauges, the flight
+/// recorder's histograms/counters, and the metric-naming compatibility
+/// switch.
+pub struct RenderScope<'a> {
+    /// Executor backend name (`backend` label).
+    pub backend: &'a str,
+    /// Executor thread budget.
+    pub executor_threads: usize,
+    /// Connection workers configured.
+    pub connection_workers: usize,
+    /// The engine template's live training-reuse snapshot.
+    pub profile_store: StoreCounters,
+    /// Additionally emit the PR-4-era unprefixed alias names
+    /// (`attack_scratch_reuses_total`, `heatmap_cache_total{...}`) —
+    /// kept for one release for dashboards that still scrape them.
+    pub legacy_metric_names: bool,
+    /// Connection-pool queue snapshot (`None` when the pool is gone,
+    /// e.g. during shutdown).
+    pub queue: Option<QueueStats>,
+    /// The flight recorder (`None` when tracing is disabled).
+    pub recorder: Option<&'a Recorder>,
 }
 
 /// Upper bounds (µs) of the latency histogram buckets; the last bucket
@@ -76,7 +123,7 @@ const BUCKET_BOUNDS_US: [u64; 8] = [
 /// Counters and gauges of one running server.
 #[derive(Debug)]
 pub struct ServerMetrics {
-    requests: [AtomicU64; 6],
+    requests: [AtomicU64; 7],
     statuses: Mutex<BTreeMap<u16, u64>>,
     buckets: [AtomicU64; 9],
     latency_sum_us: AtomicU64,
@@ -275,10 +322,10 @@ impl ServerMetrics {
             .unwrap_or(0)
     }
 
-    /// Renders the Prometheus text exposition for `GET /metrics`.
-    /// `profile_store` is the engine template's live training-reuse
-    /// snapshot (cumulative by construction, so it is rendered directly
-    /// instead of being accumulated here).
+    /// Renders the Prometheus text exposition for `GET /metrics` with
+    /// only the static server shape — no queue gauges, no flight
+    /// recorder, current metric names only. Convenience wrapper over
+    /// [`ServerMetrics::render_with`].
     pub fn render(
         &self,
         backend: &str,
@@ -286,6 +333,31 @@ impl ServerMetrics {
         connection_workers: usize,
         profile_store: StoreCounters,
     ) -> String {
+        self.render_with(&RenderScope {
+            backend,
+            executor_threads,
+            connection_workers,
+            profile_store,
+            legacy_metric_names: false,
+            queue: None,
+            recorder: None,
+        })
+    }
+
+    /// Renders the Prometheus text exposition for `GET /metrics`.
+    /// `scope.profile_store` is the engine template's live
+    /// training-reuse snapshot (cumulative by construction, so it is
+    /// rendered directly instead of being accumulated here); the queue
+    /// and recorder sections are omitted entirely when absent from the
+    /// scope.
+    pub fn render_with(&self, scope: &RenderScope<'_>) -> String {
+        let RenderScope {
+            backend,
+            executor_threads,
+            connection_workers,
+            profile_store,
+            ..
+        } = *scope;
         let mut out = String::with_capacity(2048);
         out.push_str("# TYPE mood_serve_requests_total counter\n");
         for endpoint in Endpoint::ALL {
@@ -382,12 +454,106 @@ impl ServerMetrics {
         ));
         out.push_str("# TYPE mood_serve_executor_threads gauge\n");
         out.push_str(&format!(
-            "mood_serve_executor_threads{{backend=\"{backend}\"}} {executor_threads}\n"
+            "mood_serve_executor_threads{{backend=\"{}\"}} {executor_threads}\n",
+            escape_label_value(backend)
         ));
         out.push_str("# TYPE mood_serve_connection_workers gauge\n");
         out.push_str(&format!(
             "mood_serve_connection_workers {connection_workers}\n"
         ));
+        if let Some(queue) = &scope.queue {
+            out.push_str("# TYPE mood_serve_queue_depth gauge\n");
+            out.push_str(&format!("mood_serve_queue_depth {}\n", queue.pending));
+            out.push_str("# TYPE mood_serve_in_flight_connections gauge\n");
+            out.push_str(&format!(
+                "mood_serve_in_flight_connections {}\n",
+                queue.in_flight
+            ));
+            out.push_str("# TYPE mood_serve_queue_wait_seconds summary\n");
+            out.push_str(&format!(
+                "mood_serve_queue_wait_seconds_sum {}\n",
+                queue.waited.as_secs_f64()
+            ));
+            out.push_str(&format!(
+                "mood_serve_queue_wait_seconds_count {}\n",
+                queue.dequeued
+            ));
+        }
+        if let Some(recorder) = scope.recorder {
+            let histograms = recorder.stage_histograms();
+            if !histograms.is_empty() {
+                out.push_str("# TYPE mood_serve_stage_seconds histogram\n");
+                for histo in &histograms {
+                    let stage = escape_label_value(&histo.stage);
+                    let mut cumulative = 0u64;
+                    for (i, &bound) in STAGE_BUCKET_BOUNDS_US.iter().enumerate() {
+                        cumulative += histo.buckets[i];
+                        out.push_str(&format!(
+                            "mood_serve_stage_seconds_bucket{{stage=\"{stage}\",le=\"{}\"}} {cumulative}\n",
+                            bound as f64 / 1e6
+                        ));
+                    }
+                    cumulative += histo.buckets[STAGE_BUCKET_BOUNDS_US.len()];
+                    out.push_str(&format!(
+                        "mood_serve_stage_seconds_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {cumulative}\n"
+                    ));
+                    out.push_str(&format!(
+                        "mood_serve_stage_seconds_sum{{stage=\"{stage}\"}} {}\n",
+                        histo.sum_us as f64 / 1e6
+                    ));
+                    out.push_str(&format!(
+                        "mood_serve_stage_seconds_count{{stage=\"{stage}\"}} {}\n",
+                        histo.count
+                    ));
+                }
+            }
+            out.push_str("# TYPE mood_serve_traces_recorded_total counter\n");
+            out.push_str(&format!(
+                "mood_serve_traces_recorded_total {}\n",
+                recorder.recorded_total()
+            ));
+            out.push_str("# TYPE mood_serve_slow_requests_total counter\n");
+            out.push_str(&format!(
+                "mood_serve_slow_requests_total {}\n",
+                recorder.slow_total()
+            ));
+            // Labeled counters bumped through the recorder (e.g. retry
+            // reasons) arrive sorted by metric name, so one `# TYPE`
+            // line per distinct metric suffices.
+            let mut last_metric = String::new();
+            for counter in recorder.counters() {
+                if counter.metric != last_metric {
+                    out.push_str(&format!("# TYPE {} counter\n", counter.metric));
+                    last_metric = counter.metric.clone();
+                }
+                out.push_str(&format!(
+                    "{}{{{}=\"{}\"}} {}\n",
+                    counter.metric,
+                    counter.label_key,
+                    escape_label_value(&counter.label_value),
+                    counter.value
+                ));
+            }
+        }
+        if scope.legacy_metric_names {
+            // Pre-rename aliases (see README "Observability"): same
+            // values as the `mood_serve_`-prefixed series above, kept
+            // one release for dashboards that still scrape them.
+            out.push_str("# TYPE attack_scratch_reuses_total counter\n");
+            out.push_str(&format!(
+                "attack_scratch_reuses_total {}\n",
+                self.attack_scratch_reuses.load(Ordering::Relaxed)
+            ));
+            out.push_str("# TYPE heatmap_cache_total counter\n");
+            out.push_str(&format!(
+                "heatmap_cache_total{{result=\"hit\"}} {}\n",
+                self.heatmap_cache_hits.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "heatmap_cache_total{{result=\"miss\"}} {}\n",
+                self.heatmap_cache_misses.load(Ordering::Relaxed)
+            ));
+        }
         out
     }
 }
@@ -551,5 +717,79 @@ mod tests {
         assert!(text.contains("{le=\"0.001\"} 2"), "{text}");
         assert!(text.contains("{le=\"5\"} 8"), "{text}");
         assert!(text.contains("{le=\"+Inf\"} 9"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn render_with_emits_queue_recorder_and_legacy_sections() {
+        let m = ServerMetrics::new();
+        m.add_attack_scratch_reuses(11);
+        m.add_heatmap_cache(3, 4);
+        let recorder = Recorder::new(mood_obs::RecorderConfig::default());
+        recorder.bump("mood_serve_client_retries_total", "reason", "status_503");
+        recorder.bump("mood_serve_client_retries_total", "reason", "status_503");
+        let scope = RenderScope {
+            backend: "persistent",
+            executor_threads: 4,
+            connection_workers: 2,
+            profile_store: StoreCounters::default(),
+            legacy_metric_names: true,
+            queue: Some(QueueStats {
+                pending: 3,
+                in_flight: 2,
+                dequeued: 9,
+                waited: Duration::from_millis(1500),
+            }),
+            recorder: Some(&recorder),
+        };
+        let text = m.render_with(&scope);
+        assert!(text.contains("mood_serve_queue_depth 3"), "{text}");
+        assert!(
+            text.contains("mood_serve_in_flight_connections 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_queue_wait_seconds_sum 1.5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_queue_wait_seconds_count 9"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_client_retries_total{reason=\"status_503\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE mood_serve_client_retries_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_traces_recorded_total 0"),
+            "{text}"
+        );
+        // Legacy aliases ride along with the prefixed series.
+        assert!(text.contains("\nattack_scratch_reuses_total 11"), "{text}");
+        assert!(
+            text.contains("\nheatmap_cache_total{result=\"hit\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\nheatmap_cache_total{result=\"miss\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mood_serve_attack_scratch_reuses_total 11"),
+            "{text}"
+        );
+        // Without the flag the unprefixed aliases disappear.
+        let text = m.render("persistent", 4, 2, StoreCounters::default());
+        assert!(!text.contains("\nattack_scratch_reuses_total"), "{text}");
+        assert!(!text.contains("\nheatmap_cache_total{"), "{text}");
     }
 }

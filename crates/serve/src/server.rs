@@ -20,21 +20,22 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mood_core::{protect_stream, Executor, ExecutorKind, MoodConfig};
+use mood_core::{protect_stream, Executor, ExecutorKind, MoodConfig, ENGINE_STAGES};
 use mood_exec::{ServicePool, SubmitError, SubmitGate};
+use mood_obs::{mix64, Recorder, RecorderConfig, SpanToken, StageAgg, TraceSpans};
 use mood_trace::Dataset;
 
 use crate::api::{
     request_seed, BatchRequest, BatchResponse, ConfigResponse, EngineTemplate, ErrorBody,
-    ProtectRequest, ProtectResponse, ProtectResult,
+    ProtectRequest, ProtectResponse, ProtectResult, TraceExport,
 };
 use crate::chaos::{ChaosConfig, FaultKind, FaultPlan};
 use crate::http::{Conn, Request, RequestOutcome, Response};
-use crate::metrics::{Endpoint, ServerMetrics};
+use crate::metrics::{Endpoint, RenderScope, ServerMetrics};
 
 /// How often blocked reads wake up to check shutdown and idle state.
 const READ_POLL: Duration = Duration::from_millis(25);
@@ -71,6 +72,17 @@ pub struct ServeConfig {
     /// degradation); a request's own [`ProtectRequest::budget`] takes
     /// precedence. `None` means unlimited.
     pub candidate_budget: Option<u64>,
+    /// Deterministic request tracing and the flight recorder: `Some`
+    /// (the default) records per-request span trees into a bounded ring
+    /// served by `GET /v1/debug/trace` and feeds the per-stage
+    /// histograms on `/metrics`. `None` disables tracing entirely — no
+    /// span clocks are read. Served bytes are bit-identical either way;
+    /// only the `*_us` observability fields carry wall-clock.
+    pub tracing: Option<RecorderConfig>,
+    /// Additionally emit the pre-rename unprefixed metric aliases
+    /// (`attack_scratch_reuses_total`, `heatmap_cache_total{...}`) on
+    /// `/metrics` for scrapers that predate the `mood_serve_` prefix.
+    pub legacy_metric_names: bool,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +99,8 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(5),
             chaos: None,
             candidate_budget: None,
+            tracing: Some(RecorderConfig::default()),
+            legacy_metric_names: false,
         }
     }
 }
@@ -96,6 +110,11 @@ impl Default for ServeConfig {
 struct ConnJob {
     stream: TcpStream,
     plan: Option<FaultPlan>,
+    /// The accept-time connection id; also keys non-protect trace ids.
+    connection_id: u64,
+    /// Accept timestamp, `Some` only when tracing: the worker derives
+    /// the `queue_wait` synthetic span from it at pickup.
+    accepted: Option<Instant>,
 }
 
 /// State shared by the acceptor, the connection workers and the handle.
@@ -109,6 +128,12 @@ struct ServerShared {
     /// Monotone connection ids: the `connection_id` of every fault
     /// decision, assigned at accept time.
     connection_seq: AtomicU64,
+    /// The flight recorder; `None` when tracing is disabled.
+    recorder: Option<Arc<Recorder>>,
+    /// Back-reference to the connection pool for `/metrics` queue
+    /// gauges. `Weak` because the pool's worker closure owns the
+    /// `Arc<ServerShared>`; set once right after the pool is built.
+    pool: OnceLock<Weak<ServicePool<ConnJob>>>,
 }
 
 /// A running protection server. Shut it down explicitly with
@@ -141,6 +166,7 @@ impl MoodServer {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let executor = config.executor.build(config.executor_threads.max(1));
+        let recorder = config.tracing.map(|cfg| Arc::new(Recorder::new(cfg)));
         let shared = Arc::new(ServerShared {
             template,
             executor,
@@ -149,6 +175,8 @@ impl MoodServer {
             addr,
             shutdown: AtomicBool::new(false),
             connection_seq: AtomicU64::new(0),
+            recorder,
+            pool: OnceLock::new(),
         });
 
         let worker_shared = Arc::clone(&shared);
@@ -170,6 +198,7 @@ impl MoodServer {
             },
             gate,
         ));
+        let _ = shared.pool.set(Arc::downgrade(&pool));
 
         let acceptor_shared = Arc::clone(&shared);
         let acceptor_pool = Arc::clone(&pool);
@@ -209,6 +238,11 @@ impl MoodServer {
     /// The server's metrics (live counters).
     pub fn metrics(&self) -> &ServerMetrics {
         &self.shared.metrics
+    }
+
+    /// The flight recorder, when tracing is enabled.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.shared.recorder.as_deref()
     }
 
     /// Graceful shutdown: stop accepting, finish in-flight requests,
@@ -264,11 +298,18 @@ fn acceptor_loop(listener: &TcpListener, shared: &ServerShared, pool: &ServicePo
         if let Some(plan) = &plan {
             if plan.accept_drop() {
                 shared.metrics.record_fault(FaultKind::AcceptDrop);
+                record_fault_trace(shared, connection_id, FaultKind::AcceptDrop);
                 drop(stream);
                 continue;
             }
         }
-        match pool.try_submit(ConnJob { stream, plan }) {
+        let accepted = shared.recorder.as_ref().map(|_| Instant::now());
+        match pool.try_submit(ConnJob {
+            stream,
+            plan,
+            connection_id,
+            accepted,
+        }) {
             Ok(()) => {}
             Err(SubmitError::Full(mut job) | SubmitError::ShuttingDown(mut job)) => {
                 // Shed load inline; never block the accept loop. Sheds
@@ -280,6 +321,7 @@ fn acceptor_loop(listener: &TcpListener, shared: &ServerShared, pool: &ServicePo
                 if let Some(plan) = &job.plan {
                     if plan.shed() {
                         shared.metrics.record_fault(FaultKind::Shed);
+                        record_fault_trace(shared, connection_id, FaultKind::Shed);
                     }
                 }
                 shared.metrics.record_overload();
@@ -297,9 +339,42 @@ fn acceptor_loop(listener: &TcpListener, shared: &ServerShared, pool: &ServicePo
     }
 }
 
+/// A connection that never reached a worker still leaves evidence in
+/// the flight recorder: a zero-span trace keyed off the connection id
+/// carrying the fault as an event.
+fn record_fault_trace(shared: &ServerShared, connection_id: u64, kind: FaultKind) {
+    let Some(recorder) = shared.recorder.as_deref() else {
+        return;
+    };
+    let spans = TraceSpans::new(mix64(connection_id));
+    let root = spans.begin("request");
+    spans.event(root, &format!("fault_{}", kind.label()));
+    spans.end(root);
+    if let Some(record) = spans.finish() {
+        recorder.record(record);
+    }
+}
+
+/// Finishes a request's span tree and hands it to the flight recorder.
+fn flush_trace(recorder: Option<&Recorder>, spans: TraceSpans) {
+    if let (Some(recorder), Some(record)) = (recorder, spans.finish()) {
+        recorder.record(record);
+    }
+}
+
 /// Serves one connection until close, idle timeout or shutdown.
 fn handle_connection(shared: &ServerShared, job: ConnJob) {
-    let ConnJob { stream, mut plan } = job;
+    let ConnJob {
+        stream,
+        mut plan,
+        connection_id,
+        accepted,
+    } = job;
+    // Queue wait is measured accept → worker pickup (here), not at the
+    // first request read — the latter would bill client think time to
+    // the queue.
+    let queue_wait = accepted.map(|at| at.elapsed());
+    let recorder = shared.recorder.as_deref();
     let Ok(mut conn) = Conn::new(stream, READ_POLL) else {
         return;
     };
@@ -318,6 +393,7 @@ fn handle_connection(shared: &ServerShared, job: ConnJob) {
         return;
     }
     let mut idle_since = Instant::now();
+    let mut request_idx: u64 = 0;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
@@ -340,28 +416,47 @@ fn handle_connection(shared: &ServerShared, job: ConnJob) {
             }
             RequestOutcome::Complete(request) => {
                 let started = Instant::now();
+                // The provisional trace id keys off (connection,
+                // request index); protect handlers re-key it to the
+                // deterministic request seed once the body is parsed.
+                let spans = match recorder {
+                    Some(_) => TraceSpans::new(mix64(mix64(connection_id) ^ request_idx)),
+                    None => TraceSpans::disabled(),
+                };
+                let root = spans.begin("request");
+                spans.attr(root, "endpoint", request.path());
+                if request_idx == 0 {
+                    if let Some(wait) = queue_wait {
+                        spans.child_complete(root, "queue_wait", wait, 1);
+                    }
+                }
+                request_idx += 1;
                 if let Some(plan) = &plan {
                     // Injection point 3: artificial handler delay. The
                     // response bytes are untouched — pure latency.
                     if let Some(pause) = plan.delay() {
                         shared.metrics.record_fault(FaultKind::Delay);
+                        spans.event(root, "fault_delay");
                         std::thread::sleep(pause);
                     }
                     // Injection point 4: handler panic. The pool's
                     // catch_unwind keeps the worker alive; the client
-                    // sees the connection die mid-request.
+                    // sees the connection die mid-request. The local
+                    // span tree unwinds with the stack, so panicked
+                    // requests intentionally leave no trace record.
                     if plan.panic() {
                         shared.metrics.record_fault(FaultKind::Panic);
                         panic!("chaos: injected handler panic");
                     }
                 }
-                let mut resp = route(shared, &request);
+                let mut resp = route(shared, &request, &spans);
                 if request.close || shared.shutdown.load(Ordering::Acquire) {
                     resp.close = true;
                 }
                 shared
                     .metrics
                     .record_response(resp.status, started.elapsed());
+                spans.attr(root, "status", resp.status);
                 // Injection point 5: mid-response truncation. The head
                 // promises the full body, so the client detects an
                 // unambiguous (and retryable) cut — never a plausible
@@ -371,12 +466,20 @@ fn handle_connection(shared: &ServerShared, job: ConnJob) {
                     plan.next_request();
                     if truncate {
                         shared.metrics.record_fault(FaultKind::Truncate);
+                        spans.event(root, "fault_truncate");
+                        spans.end(root);
+                        flush_trace(recorder, spans);
                         let _ = conn.write_response_truncated(&resp);
                         return;
                     }
                 }
                 let close = resp.close;
-                if conn.write_response(&resp).is_err() || close {
+                let write = spans.begin("write");
+                let wrote = conn.write_response(&resp);
+                spans.end(write);
+                spans.end(root);
+                flush_trace(recorder, spans);
+                if wrote.is_err() || close {
                     return;
                 }
                 // The keep-alive clock starts when the response goes
@@ -389,13 +492,14 @@ fn handle_connection(shared: &ServerShared, job: ConnJob) {
 }
 
 /// Dispatches one request to its handler.
-fn route(shared: &ServerShared, request: &Request) -> Response {
-    const KNOWN: [&str; 5] = [
+fn route(shared: &ServerShared, request: &Request, spans: &TraceSpans) -> Response {
+    const KNOWN: [&str; 6] = [
         "/healthz",
         "/v1/config",
         "/metrics",
         "/v1/protect",
         "/v1/protect/batch",
+        "/v1/debug/trace",
     ];
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => {
@@ -408,23 +512,35 @@ fn route(shared: &ServerShared, request: &Request) -> Response {
         }
         ("GET", "/metrics") => {
             shared.metrics.record_request(Endpoint::Metrics);
+            let queue = shared
+                .pool
+                .get()
+                .and_then(Weak::upgrade)
+                .map(|pool| pool.queue_stats());
             Response::text(
                 200,
-                &shared.metrics.render(
-                    shared.executor.name(),
-                    shared.executor.max_threads(),
-                    shared.config.connection_workers,
-                    shared.template.profile_store_counters(),
-                ),
+                &shared.metrics.render_with(&RenderScope {
+                    backend: shared.executor.name(),
+                    executor_threads: shared.executor.max_threads(),
+                    connection_workers: shared.config.connection_workers,
+                    profile_store: shared.template.profile_store_counters(),
+                    legacy_metric_names: shared.config.legacy_metric_names,
+                    queue,
+                    recorder: shared.recorder.as_deref(),
+                }),
             )
+        }
+        ("GET", "/v1/debug/trace") => {
+            shared.metrics.record_request(Endpoint::DebugTrace);
+            handle_debug_trace(shared, &request.target)
         }
         ("POST", "/v1/protect") => {
             shared.metrics.record_request(Endpoint::Protect);
-            handle_protect(shared, &request.body)
+            handle_protect(shared, &request.body, spans)
         }
         ("POST", "/v1/protect/batch") => {
             shared.metrics.record_request(Endpoint::ProtectBatch);
-            handle_batch(shared, &request.body)
+            handle_batch(shared, &request.body, spans)
         }
         (_, path) if KNOWN.contains(&path) => {
             shared.metrics.record_request(Endpoint::Other);
@@ -445,6 +561,43 @@ fn route(shared: &ServerShared, request: &Request) -> Response {
             )
         }
     }
+}
+
+/// `GET /v1/debug/trace?limit=N` — the flight recorder's JSON export:
+/// the N most recent traces plus the retained slow traces. Spans carry
+/// wall-clock `*_us` fields, so this endpoint is intentionally outside
+/// the determinism contract (span ids and structure are still
+/// deterministic).
+fn handle_debug_trace(shared: &ServerShared, target: &str) -> Response {
+    let Some(recorder) = shared.recorder.as_deref() else {
+        return Response::json(
+            404,
+            &ErrorBody {
+                error: "tracing disabled: start the server with `tracing: Some(..)`".to_string(),
+            },
+        );
+    };
+    let limit = query_param(target, "limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32);
+    Response::json(
+        200,
+        &TraceExport {
+            recorded_total: recorder.recorded_total(),
+            slow_total: recorder.slow_total(),
+            traces: recorder.export(limit),
+            slow: recorder.export_slow(limit),
+        },
+    )
+}
+
+/// Pulls one `key=value` out of a request target's query string.
+fn query_param<'a>(target: &'a str, key: &str) -> Option<&'a str> {
+    let (_, query) = target.split_once('?')?;
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 fn handle_config(shared: &ServerShared) -> Response {
@@ -491,37 +644,84 @@ fn record_engine_scratch(shared: &ServerShared, engine: &mood_core::MoodEngine) 
         .add_heatmap_cache(engine.raster_cache_hits(), engine.raster_cache_misses());
 }
 
-fn handle_protect(shared: &ServerShared, body: &[u8]) -> Response {
+/// Folds the engine's per-stage aggregates into synthetic child spans
+/// under the `engine` span — one span per stage, durations summed and
+/// counts preserved; per-candidate work is aggregated, never traced
+/// individually.
+fn drain_stages(spans: &TraceSpans, engine_span: SpanToken, agg: Option<&StageAgg>) {
+    let Some(agg) = agg else { return };
+    for total in agg.drain() {
+        spans.child_complete(
+            engine_span,
+            total.stage,
+            Duration::from_nanos(total.ns),
+            total.count,
+        );
+    }
+}
+
+fn handle_protect(shared: &ServerShared, body: &[u8], spans: &TraceSpans) -> Response {
+    let parse = spans.begin("parse");
     let request: ProtectRequest = match parse_body(body) {
         Ok(request) => request,
-        Err(resp) => return resp,
+        Err(resp) => {
+            spans.end(parse);
+            return resp;
+        }
     };
+    spans.end(parse);
     let seed = request_seed(shared.config.server_seed, request.request_id);
+    // Re-key the trace to the request's deterministic identity: from
+    // here on, span ids are a pure function of (server_seed,
+    // request_id), independent of which connection carried the request.
+    spans.set_trace_id(seed);
     let budget = request.budget.or(shared.config.candidate_budget);
-    let engine = shared
-        .template
-        .engine_for_request(seed, Arc::clone(&shared.executor), budget);
+    let agg = spans
+        .is_enabled()
+        .then(|| Arc::new(StageAgg::new(&ENGINE_STAGES)));
+    let engine_span = spans.begin("engine");
+    spans.attr(engine_span, "user", request.trace.user());
+    spans.attr(engine_span, "request_id", request.request_id);
+    let engine = shared.template.engine_for_request_observed(
+        seed,
+        Arc::clone(&shared.executor),
+        budget,
+        agg.clone(),
+    );
     let outcome = engine.protect_user(&request.trace);
+    drain_stages(spans, engine_span, agg.as_deref());
+    if outcome.degraded {
+        spans.event(engine_span, "degraded");
+    }
+    spans.end(engine_span);
     shared.metrics.add_users(1);
     if outcome.degraded {
         shared.metrics.add_degraded_results(1);
     }
     record_engine_scratch(shared, &engine);
-    Response::json(
+    let respond = spans.begin("respond");
+    let resp = Response::json(
         200,
         &ProtectResponse {
             request_id: request.request_id,
             seed,
             result: ProtectResult::from_outcome(&outcome),
         },
-    )
+    );
+    spans.end(respond);
+    resp
 }
 
-fn handle_batch(shared: &ServerShared, body: &[u8]) -> Response {
+fn handle_batch(shared: &ServerShared, body: &[u8], spans: &TraceSpans) -> Response {
+    let parse = spans.begin("parse");
     let request: BatchRequest = match parse_body(body) {
         Ok(request) => request,
-        Err(resp) => return resp,
+        Err(resp) => {
+            spans.end(parse);
+            return resp;
+        }
     };
+    spans.end(parse);
     if request.traces.is_empty() {
         return Response::json(
             400,
@@ -542,18 +742,31 @@ fn handle_batch(shared: &ServerShared, body: &[u8]) -> Response {
         }
     };
     let seed = request_seed(shared.config.server_seed, request.request_id);
+    spans.set_trace_id(seed);
     let budget = request.budget.or(shared.config.candidate_budget);
-    let engine = shared
-        .template
-        .engine_for_request(seed, Arc::clone(&shared.executor), budget);
+    let agg = spans
+        .is_enabled()
+        .then(|| Arc::new(StageAgg::new(&ENGINE_STAGES)));
+    let engine_span = spans.begin("engine");
+    spans.attr(engine_span, "users", dataset.user_count());
+    spans.attr(engine_span, "request_id", request.request_id);
+    let engine = shared.template.engine_for_request_observed(
+        seed,
+        Arc::clone(&shared.executor),
+        budget,
+        agg.clone(),
+    );
     let report = protect_stream(&engine, &dataset, shared.executor.as_ref(), |outcome| {
         shared.metrics.add_users(1);
         if outcome.degraded {
             shared.metrics.add_degraded_results(1);
         }
     });
+    drain_stages(spans, engine_span, agg.as_deref());
+    spans.end(engine_span);
     record_engine_scratch(shared, &engine);
-    match report {
+    let respond = spans.begin("respond");
+    let resp = match report {
         Ok(report) => Response::json(
             200,
             &BatchResponse::from_report(request.request_id, seed, &report),
@@ -566,5 +779,7 @@ fn handle_batch(shared: &ServerShared, body: &[u8]) -> Response {
                 error: e.to_string(),
             },
         ),
-    }
+    };
+    spans.end(respond);
+    resp
 }

@@ -134,6 +134,45 @@ fn store_trained_engines_are_byte_identical_across_backends_and_threads() {
 }
 
 #[test]
+fn stage_observed_engines_are_byte_identical_for_every_backend_and_thread_count() {
+    // The tracing tentpole's core promise: attaching a stage observer
+    // (the span/aggregate layer `mood serve` and `mood trace` hang off
+    // the engine) reads clocks but never touches the data path. Every
+    // backend × thread count with an observer attached must stay
+    // byte-identical to the plain sequential reference — and must
+    // actually observe stages, so a silently detached observer can't
+    // fake a pass.
+    use mood_core::obs::StageAgg;
+    use mood_core::ENGINE_STAGES;
+
+    let (bg, test) = mini_world();
+    let reference = protect_dataset(&MoodEngine::paper_default(&bg), &test, 1);
+    let reference_bytes = fingerprint(&reference);
+
+    for kind in ExecutorKind::all() {
+        for threads in THREAD_COUNTS {
+            let agg = Arc::new(StageAgg::new(&ENGINE_STAGES));
+            let engine = EngineBuilder::paper_default(&bg)
+                .executor(kind.build(threads))
+                .stage_observer(Arc::clone(&agg))
+                .build()
+                .expect("paper defaults are valid");
+            let report = protect_dataset_with(&engine, &test, kind.build(threads).as_ref());
+            assert_eq!(
+                fingerprint(&report),
+                reference_bytes,
+                "stage-observed engine diverged on {kind} x{threads}"
+            );
+            let stages = agg.drain();
+            assert!(
+                stages.iter().any(|s| s.stage == "raw_check"),
+                "{kind} x{threads}: observer attached but no stages recorded"
+            );
+        }
+    }
+}
+
+#[test]
 fn two_level_parallelism_matches_the_sequential_reference() {
     // Candidate-level executor inside the engine AND user-level
     // executor in the pipeline, both parallel at once.

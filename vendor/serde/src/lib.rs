@@ -108,6 +108,15 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+/// A value tree serializes as itself: lets already-assembled [`Value`]s
+/// (e.g. hand-built JSON documents) flow through the same writer paths
+/// as derived types.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 /// Types constructible from a [`Value`].
 pub trait Deserialize: Sized {
     /// Builds `Self` from the JSON-shaped value tree.

@@ -3,7 +3,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use mood_exec::{for_each_index_with, Executor, SequentialExecutor};
-use mood_trace::{Dataset, Trace, UserId};
+use mood_trace::{Dataset, Trace, TraceStore, UserId};
 
 use crate::{Attack, AttackScratch, ProfileStore, TrainedAttack};
 
@@ -245,6 +245,55 @@ impl AttackSuite {
     /// [`DatasetEvaluation::non_protected_users`] — byte-identical to
     /// the sequential reference for every backend and thread count.
     pub fn evaluate_with(&self, dataset: &Dataset, executor: &dyn Executor) -> DatasetEvaluation {
+        let traces: Vec<&Trace> = dataset.iter().collect();
+        self.evaluate_indexed(
+            dataset.user_count(),
+            dataset.record_count(),
+            |i| traces[i],
+            executor,
+        )
+    }
+
+    /// [`AttackSuite::evaluate_with`] over a compressed
+    /// [`TraceStore`]: workers decode each trace through the store's
+    /// byte-budgeted cache on demand, so the decoded working set stays
+    /// bounded however large the corpus is. The result — including the
+    /// order of [`DatasetEvaluation::non_protected_users`] — is
+    /// byte-identical to evaluating the decoded form in memory, for
+    /// every backend and thread count (decoding is pure, so cache
+    /// timing cannot leak into verdicts).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store is unfinished.
+    pub fn evaluate_store_with(
+        &self,
+        store: &TraceStore,
+        executor: &dyn Executor,
+    ) -> DatasetEvaluation {
+        let users = store.user_ids();
+        self.evaluate_indexed(
+            store.user_count(),
+            store.record_count(),
+            |i| store.trace(users[i]),
+            executor,
+        )
+    }
+
+    /// The shared evaluation core: `n` traces fetched by `get` (either
+    /// borrowed from a dataset or `Arc`s from a store's decode cache),
+    /// fanned out over `executor`, merged by submission index.
+    fn evaluate_indexed<H, G>(
+        &self,
+        users_total: usize,
+        records_total: usize,
+        get: G,
+        executor: &dyn Executor,
+    ) -> DatasetEvaluation
+    where
+        H: std::ops::Deref<Target = Trace>,
+        G: Fn(usize) -> H + Sync,
+    {
         /// One worker's private tallies — per-attack hit counts and
         /// `(submission index, user, records)` of re-identified traces —
         /// plus its attack scratch, so per-trace features build into
@@ -255,8 +304,7 @@ impl AttackSuite {
             scratch: AttackScratch,
         }
 
-        let traces: Vec<&Trace> = dataset.iter().collect();
-        let n = traces.len();
+        let n = users_total;
         // Per-worker capacity covers a balanced share; a worker that
         // ends up with more (stealing) grows amortized. The merged
         // vectors below are the ones preallocated for the full count.
@@ -270,10 +318,10 @@ impl AttackSuite {
                 scratch: AttackScratch::new(),
             },
             |acc, i| {
-                let trace = traces[i];
+                let trace = get(i);
                 let mut hit = false;
                 for (k, a) in self.attacks.iter().enumerate() {
-                    if a.reidentify_with(trace, trace.user(), &mut acc.scratch) {
+                    if a.reidentify_with(&trace, trace.user(), &mut acc.scratch) {
                         acc.per_attack[k] += 1;
                         hit = true;
                     }
@@ -312,8 +360,8 @@ impl AttackSuite {
             *per_attack.get_mut(a.name()).expect("pre-seeded") += count;
         }
         DatasetEvaluation {
-            users_total: dataset.user_count(),
-            records_total: dataset.record_count(),
+            users_total,
+            records_total,
             non_protected_users: non_protected,
             lost_records,
             re_identified_per_attack: per_attack,
@@ -464,6 +512,39 @@ mod tests {
                 assert_eq!(eval.non_protected_users, reference.non_protected_users);
             }
         }
+    }
+
+    #[test]
+    fn store_backed_evaluation_is_byte_identical() {
+        use mood_exec::ExecutorKind;
+        use mood_synth::presets;
+        use mood_trace::StoreConfig;
+        let ds = presets::privamov_like().scaled(0.2).generate();
+        let (train, test) = ds.split_chronological(TimeDelta::from_days(15));
+        let suite = full_suite(&train);
+        let reference = suite.evaluate(&test);
+        // A budget fitting only ~2 decoded traces: eviction churn is
+        // constant, verdicts must not care.
+        let max_trace_bytes = test
+            .iter()
+            .map(|t| t.len() * std::mem::size_of::<Record>())
+            .max()
+            .unwrap();
+        let config = StoreConfig::default()
+            .with_seal_records(64)
+            .with_chunk_records(256)
+            .with_cache_budget(2 * max_trace_bytes);
+        let store = mood_trace::TraceStore::from_dataset(&test, config);
+        for kind in ExecutorKind::all() {
+            for threads in [1usize, 2, 8] {
+                let executor = kind.build(threads);
+                let eval = suite.evaluate_store_with(&store, executor.as_ref());
+                assert_eq!(eval, reference, "{kind} x{threads} store eval diverged");
+            }
+        }
+        let stats = store.stats();
+        assert!(stats.resident_bytes <= stats.budget_bytes);
+        assert!(stats.evictions > 0, "budget never forced an eviction");
     }
 
     #[test]

@@ -5,16 +5,18 @@
 //! Usage (from the workspace root):
 //!
 //! * `bench_delta` — read `results/throughput.json`,
-//!   `results/eval_throughput.json` and `results/serve_latency.json`,
+//!   `results/eval_throughput.json`, `results/serve_latency.json`,
+//!   `results/candidate_scoring.json` and `results/ingest.json`,
 //!   print deltas against
 //!   `crates/bench/baseline/BENCH_throughput.json`;
 //! * `bench_delta --record` — overwrite the committed baseline with the
-//!   fresh results (run `exp_throughput`, `exp_eval_throughput` and
-//!   `exp_serve_latency` first).
+//!   fresh results (run `exp_throughput`, `exp_eval_throughput`,
+//!   `exp_serve_latency`, `exp_candidate_scoring` and `exp_ingest`
+//!   first).
 
 use mood_bench::perf::{
     delta_report, read_json, write_json, BenchBaseline, BASELINE_PATH, CANDIDATE_SCORING_PATH,
-    EVAL_THROUGHPUT_PATH, SERVE_LATENCY_PATH, THROUGHPUT_PATH,
+    EVAL_THROUGHPUT_PATH, INGEST_PATH, SERVE_LATENCY_PATH, THROUGHPUT_PATH,
 };
 
 fn main() {
@@ -24,6 +26,7 @@ fn main() {
         eval_throughput: read_json(EVAL_THROUGHPUT_PATH),
         serve_latency: read_json(SERVE_LATENCY_PATH),
         candidate_scoring: read_json(CANDIDATE_SCORING_PATH),
+        ingest: read_json(INGEST_PATH),
     };
 
     if record {
@@ -31,12 +34,13 @@ fn main() {
             && current.eval_throughput.is_none()
             && current.serve_latency.is_none()
             && current.candidate_scoring.is_none()
+            && current.ingest.is_none()
         {
             eprintln!(
                 "nothing to record: run exp_throughput / exp_eval_throughput / \
-                 exp_serve_latency / exp_candidate_scoring first (expected \
-                 {THROUGHPUT_PATH}, {EVAL_THROUGHPUT_PATH}, {SERVE_LATENCY_PATH} \
-                 and {CANDIDATE_SCORING_PATH})"
+                 exp_serve_latency / exp_candidate_scoring / exp_ingest first \
+                 (expected {THROUGHPUT_PATH}, {EVAL_THROUGHPUT_PATH}, \
+                 {SERVE_LATENCY_PATH}, {CANDIDATE_SCORING_PATH} and {INGEST_PATH})"
             );
             return;
         }
@@ -55,7 +59,8 @@ fn main() {
                 .or_else(|| previous.as_ref().and_then(|p| p.serve_latency.clone())),
             candidate_scoring: current
                 .candidate_scoring
-                .or_else(|| previous.and_then(|p| p.candidate_scoring)),
+                .or_else(|| previous.as_ref().and_then(|p| p.candidate_scoring.clone())),
+            ingest: current.ingest.or_else(|| previous.and_then(|p| p.ingest)),
         };
         write_json(BASELINE_PATH, &merged).expect("write baseline");
         println!("recorded baseline -> {BASELINE_PATH}");

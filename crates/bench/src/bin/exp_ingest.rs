@@ -1,0 +1,140 @@
+//! CSV-ingestion throughput: megabytes/second and records/second of
+//! `io::read_csv` (full in-memory parse) vs `io::stream_csv` (streaming
+//! parse straight into the compressed chunked `TraceStore`), plus the
+//! store's compression ratio against the in-memory `Vec<Record>` form.
+//!
+//! Every streamed pass is asserted bit-identical to the in-memory parse
+//! (`store.to_dataset() == dataset`) before its timing counts, and the
+//! compression ratio is asserted ≤ 0.5 — the store must at least halve
+//! the resident footprint to earn its keep.
+//!
+//! Usage: `cargo run --release -p mood-bench --bin exp_ingest
+//!         [--scale X]`
+
+use std::time::Instant;
+
+use mood_bench::cli_options;
+use mood_bench::perf::{write_json, IngestReport, IngestRow, INGEST_PATH};
+use mood_synth::presets;
+use mood_trace::{io as trace_io, Record, StoreConfig};
+
+const MIN_ELAPSED_S: f64 = 1.0;
+const MIN_ITERS: u32 = 3;
+
+fn main() {
+    let (scale, _threads) = cli_options();
+    println!("=== CSV ingestion throughput (privamov-like, scale {scale}) ===");
+    let spec = presets::privamov_like().scaled(scale);
+    let dataset = spec.generate();
+    let mut csv = Vec::new();
+    trace_io::write_csv(&dataset, &mut csv).expect("serialize corpus");
+    let records = dataset.record_count();
+    let csv_mb = csv.len() as f64 / 1e6;
+    println!(
+        "{} users / {records} records, {:.1} MB of CSV\n",
+        dataset.user_count(),
+        csv_mb
+    );
+
+    let mut rows = Vec::new();
+
+    // Mode 1: read_csv — the whole corpus lands in memory.
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        let parsed = trace_io::read_csv(&csv[..]).expect("parse");
+        iters += 1;
+        assert_eq!(parsed, dataset, "read_csv diverged from the source");
+        if start.elapsed().as_secs_f64() >= MIN_ELAPSED_S && iters >= MIN_ITERS {
+            break;
+        }
+    }
+    let wall = start.elapsed().as_secs_f64() / f64::from(iters);
+    let read_resident = records * std::mem::size_of::<Record>();
+    print_row(
+        &mut rows,
+        "read_csv",
+        records,
+        csv.len(),
+        wall,
+        read_resident,
+    );
+
+    // Mode 2: stream_csv — bounded buffers, sealed compressed chunks.
+    let config = StoreConfig::default();
+    let warmup = trace_io::stream_csv(&csv[..], config).expect("stream");
+    assert_eq!(
+        warmup.to_dataset(),
+        dataset,
+        "stream_csv diverged from read_csv"
+    );
+    let start = Instant::now();
+    let mut iters = 0u32;
+    let store = loop {
+        let store = trace_io::stream_csv(&csv[..], config).expect("stream");
+        iters += 1;
+        if start.elapsed().as_secs_f64() >= MIN_ELAPSED_S && iters >= MIN_ITERS {
+            break store;
+        }
+    };
+    let wall = start.elapsed().as_secs_f64() / f64::from(iters);
+    let stats = store.stats();
+    // Peak footprint of the streamed form: the encoded chunks (all
+    // retained) plus the largest the per-user ingest buffers ever got.
+    let stream_resident = stats.encoded_bytes + stats.peak_buffer_bytes;
+    print_row(
+        &mut rows,
+        "stream_csv",
+        records,
+        csv.len(),
+        wall,
+        stream_resident,
+    );
+
+    let encoded_per_record = stats.encoded_bytes as f64 / records as f64;
+    let ratio = stats.encoded_bytes as f64 / read_resident as f64;
+    println!(
+        "\nstore: {} chunks, {:.2} encoded bytes/record, {:.1}% of Vec<Record> form",
+        stats.chunks,
+        encoded_per_record,
+        ratio * 100.0
+    );
+    assert!(
+        ratio <= 0.5,
+        "compression ratio {ratio:.3} exceeds the 0.5 gate"
+    );
+
+    let report = IngestReport {
+        dataset: spec.name.clone(),
+        scale_note: format!("scale {scale}"),
+        rows,
+        encoded_bytes_per_record: encoded_per_record,
+        compression_ratio: ratio,
+    };
+    write_json(INGEST_PATH, &report).expect("write results");
+    println!("wrote {INGEST_PATH}");
+}
+
+fn print_row(
+    rows: &mut Vec<IngestRow>,
+    mode: &str,
+    records: usize,
+    csv_bytes: usize,
+    wall_s: f64,
+    peak_resident_bytes: usize,
+) {
+    let mb_per_s = csv_bytes as f64 / 1e6 / wall_s;
+    let records_per_s = records as f64 / wall_s;
+    println!(
+        "{mode:<12} {wall_s:>8.3} s   {mb_per_s:>7.1} MB/s   {records_per_s:>10.0} records/s   peak {peak_resident_bytes:>12} B",
+    );
+    rows.push(IngestRow {
+        mode: mode.to_string(),
+        records,
+        csv_bytes,
+        wall_s,
+        mb_per_s,
+        records_per_s,
+        peak_resident_bytes,
+    });
+}

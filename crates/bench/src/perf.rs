@@ -21,6 +21,8 @@ pub const EVAL_THROUGHPUT_PATH: &str = "results/eval_throughput.json";
 pub const SERVE_LATENCY_PATH: &str = "results/serve_latency.json";
 /// Where `exp_candidate_scoring` writes its fresh results.
 pub const CANDIDATE_SCORING_PATH: &str = "results/candidate_scoring.json";
+/// Where `exp_ingest` writes its fresh results.
+pub const INGEST_PATH: &str = "results/ingest.json";
 
 /// One measured batch-protection configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -167,6 +169,47 @@ pub struct CandidateScoringReport {
     pub kernels: Vec<KernelMicroRow>,
 }
 
+/// One measured CSV-ingestion mode (`exp_ingest`): `read_csv` parses
+/// into a fully materialized [`mood_trace::Dataset`]-shaped map;
+/// `stream_csv` parses the same bytes straight into the compressed
+/// chunked `TraceStore`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestRow {
+    /// Ingestion mode (`read_csv` or `stream_csv`).
+    pub mode: String,
+    /// Records parsed per pass.
+    pub records: usize,
+    /// CSV payload size in bytes.
+    pub csv_bytes: usize,
+    /// Wall-clock seconds per pass (averaged over iterations).
+    pub wall_s: f64,
+    /// CSV megabytes parsed per second — the headline rate
+    /// `bench_delta` compares.
+    pub mb_per_s: f64,
+    /// Records parsed per second.
+    pub records_per_s: f64,
+    /// Peak resident bytes of the destination during the pass: the full
+    /// decoded dataset for `read_csv`, ingest buffers + encoded chunks
+    /// for `stream_csv`.
+    pub peak_resident_bytes: usize,
+}
+
+/// The document `exp_ingest` emits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Human note about the scale factor.
+    pub scale_note: String,
+    /// One row per measured mode.
+    pub rows: Vec<IngestRow>,
+    /// Encoded chunk bytes per record in the streamed store.
+    pub encoded_bytes_per_record: f64,
+    /// Encoded size over in-memory `Vec<Record>` size (must stay
+    /// ≤ 0.5 — asserted by `exp_ingest` itself).
+    pub compression_ratio: f64,
+}
+
 /// The combined baseline document (`BENCH_throughput.json`): every
 /// benchmark report, any of which may be absent.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -179,6 +222,8 @@ pub struct BenchBaseline {
     pub serve_latency: Option<ServeLatencyReport>,
     /// Candidate-scoring throughput at recording time.
     pub candidate_scoring: Option<CandidateScoringReport>,
+    /// CSV-ingestion throughput at recording time.
+    pub ingest: Option<IngestReport>,
 }
 
 /// Reads and parses a JSON document, `None` when the file is missing or
@@ -296,6 +341,17 @@ pub fn delta_report(baseline: &BenchBaseline, current: &BenchBaseline) -> Vec<St
     );
     section_report(
         &mut out,
+        "csv ingestion",
+        "MB/s",
+        baseline
+            .ingest
+            .as_ref()
+            .map(|r| (r.rows.as_slice(), r.scale_note.as_str())),
+        current.ingest.as_ref().map(|r| r.rows.as_slice()),
+        |r| (r.mode.as_str(), 1, r.mb_per_s),
+    );
+    section_report(
+        &mut out,
         "model kernels (lower is better)",
         "ns/call",
         baseline
@@ -338,6 +394,7 @@ mod tests {
             eval_throughput: None,
             serve_latency: None,
             candidate_scoring: None,
+            ingest: None,
         }
     }
 

@@ -5,6 +5,8 @@
 //! * `mood synth`   — generate a synthetic mobility dataset (CSV)
 //! * `mood split`   — chronological train/test split of a CSV dataset
 //! * `mood protect` — protect a dataset with MooD and publish pseudonymized CSV
+//! * `mood ingest`  — stream a CSV into the compressed chunked trace store
+//!   (bounded memory) and optionally protect it from there
 //! * `mood attack`  — run the re-identification attacks against a dataset
 //! * `mood eval`    — count-query utility of a protected dataset vs the original
 //! * `mood serve`   — run the long-running HTTP protection service
@@ -24,7 +26,7 @@ use mood_geo::Grid;
 use mood_metrics::CountQueryStats;
 use mood_serve::{ChaosConfig, MoodServer, ServeConfig};
 use mood_synth::presets;
-use mood_trace::{io as trace_io, TimeDelta};
+use mood_trace::{io as trace_io, StoreConfig, TimeDelta};
 
 const USAGE: &str = "\
 mood — MObility Data privacy as Orphan Disease (Middleware '19)
@@ -37,6 +39,11 @@ USAGE:
   mood protect --input <test.csv> --background <train.csv> --out <file.csv>
                [--report <file.json>] [--threads <n>]
                [--executor <sequential|pool|steal|persistent>]
+               [--delta-hours <n=4>] [--window-hours <n=24>] [--seed <n>] [--quiet <0|1>]
+  mood ingest  --input <file.csv> [--store-budget <bytes=67108864>]
+               [--chunk-records <n=4096>] [--seal-records <n=512>]
+               [--background <train.csv>] [--out <file.csv>] [--report <file.json>]
+               [--threads <n>] [--executor <sequential|pool|steal|persistent>]
                [--delta-hours <n=4>] [--window-hours <n=24>] [--seed <n>] [--quiet <0|1>]
   mood attack  --input <file.csv> --background <train.csv>
                [--threads <n>] [--executor <sequential|pool|steal|persistent>]
@@ -56,6 +63,15 @@ USAGE:
 `mood attack`'s per-trace fan-out (default: persistent, a long-lived
 pool of parked workers — threads are spawned once per run, not once per
 batch).
+
+`mood ingest` streams a CSV into the compressed, chunked trace store
+without ever materializing the file: rows are parsed line by line,
+buffered per user and sealed into delta-encoded chunks, so peak memory
+is bounded by --store-budget (the decoded-trace cache) plus small
+per-user ingest buffers — not by corpus size. With --background it then
+protects the corpus straight from the store (chunk-at-a-time decode),
+producing a report and published CSV byte-identical to `mood protect`
+on the same inputs.
 
 `mood serve` runs the online middleware: POST /v1/protect (one trace),
 POST /v1/protect/batch (many, via protect_stream), GET /healthz,
@@ -91,6 +107,7 @@ fn main() -> ExitCode {
         "synth" => cmd_synth(&opts),
         "split" => cmd_split(&opts),
         "protect" => cmd_protect(&opts),
+        "ingest" => cmd_ingest(&opts),
         "attack" => cmd_attack(&opts),
         "eval" => cmd_eval(&opts),
         "serve" => cmd_serve(&opts),
@@ -291,6 +308,123 @@ fn cmd_protect(opts: &HashMap<String, String>) -> Result<(), String> {
         "published {} pseudonymous traces -> {out}",
         published.user_count()
     );
+    if let Some(report_path) = opts.get("report") {
+        let json = serde_json::to_string_pretty(&report.summary()).map_err(|e| e.to_string())?;
+        std::fs::write(report_path, json).map_err(|e| e.to_string())?;
+        println!("report -> {report_path}");
+    }
+    Ok(())
+}
+
+fn cmd_ingest(opts: &HashMap<String, String>) -> Result<(), String> {
+    let input = required(opts, "input")?;
+    let budget: usize = parse_or(opts, "store-budget", 64 << 20)?;
+    let chunk_records: usize = parse_or(opts, "chunk-records", 4096)?;
+    let seal_records: usize = parse_or(opts, "seal-records", 512)?;
+    if budget == 0 || chunk_records == 0 || seal_records == 0 {
+        return Err("--store-budget, --chunk-records and --seal-records must be positive".into());
+    }
+    let quiet: u8 = parse_or(opts, "quiet", 0)?;
+
+    let config = StoreConfig::default()
+        .with_cache_budget(budget)
+        .with_chunk_records(chunk_records)
+        .with_seal_records(seal_records);
+    let store = trace_io::stream_csv_file(input, config).map_err(|e| e.to_string())?;
+    if store.is_empty() {
+        return Err("input dataset must not be empty".into());
+    }
+    let stats = store.stats();
+    let raw_bytes = stats.records * std::mem::size_of::<mood_trace::Record>();
+    println!(
+        "ingested {} users / {} records from {input} (streaming, never fully resident)",
+        stats.users, stats.records
+    );
+    println!(
+        "  chunks: {}, encoded: {} bytes ({:.2} bytes/record, {:.1}% of in-memory form)",
+        stats.chunks,
+        stats.encoded_bytes,
+        stats.encoded_bytes as f64 / stats.records as f64,
+        stats.encoded_bytes as f64 / raw_bytes as f64 * 100.0
+    );
+    println!(
+        "  peak ingest buffer: {} bytes, compactions: {}, resorts: {}",
+        stats.peak_buffer_bytes, stats.compactions, stats.resorts
+    );
+
+    let Some(background_path) = opts.get("background") else {
+        println!("cache budget: {budget} bytes (pass --background to protect from the store)");
+        return Ok(());
+    };
+    let (threads, executor_kind) = executor_opts(opts)?;
+    let delta_hours: i64 = parse_or(opts, "delta-hours", 4)?;
+    let window_hours: i64 = parse_or(opts, "window-hours", 24)?;
+    let seed: u64 = parse_or(opts, "seed", MoodConfig::paper_default().seed)?;
+    if delta_hours <= 0 || window_hours <= 0 {
+        return Err("--delta-hours and --window-hours must be positive".into());
+    }
+    let background = trace_io::read_csv_file(background_path).map_err(|e| e.to_string())?;
+    if background.is_empty() {
+        return Err("background dataset must not be empty".into());
+    }
+    println!(
+        "protecting {} users straight from the store [{executor_kind} executor, {threads} threads]...",
+        store.user_count()
+    );
+
+    let mut config = MoodConfig::paper_default();
+    config.delta = TimeDelta::from_hours(delta_hours);
+    config.initial_window = Some(TimeDelta::from_hours(window_hours));
+    config.seed = seed;
+    let executor = executor_kind.build(threads.max(1));
+    let engine = EngineBuilder::paper_default(&background)
+        .config(config)
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    let total = store.user_count();
+    let mut done = 0usize;
+    let mut orphans = 0usize;
+    let report = mood_core::protect_store_stream(&engine, &store, executor.as_ref(), |outcome| {
+        done += 1;
+        if outcome.class.is_orphan() {
+            orphans += 1;
+        }
+        if quiet == 0 {
+            eprint!(
+                "\r  [{done}/{total}] protected, {orphans} orphan users (last: {} -> {})   ",
+                outcome.user, outcome.class
+            );
+            let _ = std::io::stderr().flush();
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    if quiet == 0 {
+        eprintln!();
+    }
+
+    let stats = store.stats();
+    println!(
+        "store cache: budget {} bytes, peak resident {} bytes, hits {}, decodes {}, evictions: {}",
+        stats.budget_bytes,
+        stats.peak_resident_bytes,
+        stats.cache_hits,
+        stats.decodes,
+        stats.evictions
+    );
+    println!("\nprotection classes:");
+    for (class, count) in &report.class_counts {
+        println!("  {class}: {count}");
+    }
+    println!("data loss: {}", report.data_loss);
+    if let Some(out) = opts.get("out") {
+        let (published, _ground_truth) = publish(report.outcomes());
+        trace_io::write_csv_file(&published, out).map_err(|e| e.to_string())?;
+        println!(
+            "published {} pseudonymous traces -> {out}",
+            published.user_count()
+        );
+    }
     if let Some(report_path) = opts.get("report") {
         let json = serde_json::to_string_pretty(&report.summary()).map_err(|e| e.to_string())?;
         std::fs::write(report_path, json).map_err(|e| e.to_string())?;

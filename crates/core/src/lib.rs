@@ -65,6 +65,9 @@ pub use exec::{
 pub use hybrid::HybridLppm;
 pub use mood_obs as obs;
 pub use outcome::{FineGrainedStats, ProtectedTrace, ProtectionOutcome, UserClass, UserProtection};
-pub use pipeline::{protect_dataset, protect_dataset_with, protect_stream, publish, StreamError};
+pub use pipeline::{
+    protect_dataset, protect_dataset_with, protect_store_stream, protect_store_with,
+    protect_stream, publish, StreamError,
+};
 pub use report::{DistortionEntry, ProtectionReport};
 pub use split::SplitStrategy;

@@ -3,7 +3,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-use mood_trace::{Dataset, PseudonymFactory, UserId};
+use mood_trace::{Dataset, PseudonymFactory, Trace, TraceStore, UserId};
 
 use crate::exec::{map_indexed, Executor, ExecutorKind};
 use crate::{MoodEngine, ProtectionReport, UserProtection};
@@ -81,8 +81,43 @@ pub fn protect_dataset_with(
     dataset: &Dataset,
     executor: &dyn Executor,
 ) -> ProtectionReport {
-    let traces: Vec<&mood_trace::Trace> = dataset.iter().collect();
-    let mut outcomes = map_indexed(executor, traces.len(), |i| engine.protect_user(traces[i]));
+    let traces: Vec<&Trace> = dataset.iter().collect();
+    protect_indexed(engine, traces.len(), |i| traces[i], executor)
+}
+
+/// Protects every user of a compressed [`TraceStore`], decoding each
+/// user's chunks through the store's byte-budgeted cache as workers
+/// pull them — the decoded working set never exceeds the cache budget
+/// plus one in-flight trace per worker. The report is byte-identical
+/// to [`protect_dataset_with`] on the decoded form of the store,
+/// whatever the executor or thread count.
+///
+/// # Panics
+///
+/// Panics when the store is unfinished.
+pub fn protect_store_with(
+    engine: &MoodEngine,
+    store: &TraceStore,
+    executor: &dyn Executor,
+) -> ProtectionReport {
+    let users = store.user_ids();
+    protect_indexed(engine, users.len(), |i| store.trace(users[i]), executor)
+}
+
+/// The shared fan-out: protect `n` users fetched by `get`, sort by
+/// user, report. `H` lets callers hand over either borrowed traces
+/// (in-memory datasets) or `Arc`s fresh from a store's decode cache.
+fn protect_indexed<H, G>(
+    engine: &MoodEngine,
+    n: usize,
+    get: G,
+    executor: &dyn Executor,
+) -> ProtectionReport
+where
+    H: std::ops::Deref<Target = Trace>,
+    G: Fn(usize) -> H + Sync,
+{
+    let mut outcomes = map_indexed(executor, n, |i| engine.protect_user(&get(i)));
     outcomes.sort_by_key(|o| o.user);
     ProtectionReport::from_outcomes(outcomes)
 }
@@ -119,12 +154,62 @@ pub fn protect_stream<F>(
 where
     F: FnMut(&UserProtection) + Send,
 {
-    let traces: Vec<&mood_trace::Trace> = dataset.iter().collect();
+    let traces: Vec<&Trace> = dataset.iter().collect();
+    protect_indexed_stream(engine, traces.len(), |i| traces[i], executor, sink)
+}
+
+/// Streaming protection over a compressed [`TraceStore`]: like
+/// [`protect_stream`], but users decode through the store's cache on
+/// demand. The report equals [`protect_store_with`] (and the in-memory
+/// paths) byte-for-byte.
+///
+/// # Errors
+///
+/// Returns [`StreamError::SinkPanic`] when the sink panicked (carrying
+/// the first panic's message).
+///
+/// # Panics
+///
+/// Panics when the store is unfinished.
+pub fn protect_store_stream<F>(
+    engine: &MoodEngine,
+    store: &TraceStore,
+    executor: &dyn Executor,
+    sink: F,
+) -> Result<ProtectionReport, StreamError>
+where
+    F: FnMut(&UserProtection) + Send,
+{
+    let users = store.user_ids();
+    protect_indexed_stream(
+        engine,
+        users.len(),
+        |i| store.trace(users[i]),
+        executor,
+        sink,
+    )
+}
+
+/// The shared streaming fan-out behind [`protect_stream`] and
+/// [`protect_store_stream`]; see [`protect_indexed`] for the `H`/`G`
+/// shape.
+fn protect_indexed_stream<H, G, F>(
+    engine: &MoodEngine,
+    n: usize,
+    get: G,
+    executor: &dyn Executor,
+    sink: F,
+) -> Result<ProtectionReport, StreamError>
+where
+    H: std::ops::Deref<Target = Trace>,
+    G: Fn(usize) -> H + Sync,
+    F: FnMut(&UserProtection) + Send,
+{
     let sink = Mutex::new(sink);
     let panicked = AtomicBool::new(false);
     let payload: Mutex<Option<String>> = Mutex::new(None);
-    let mut outcomes = map_indexed(executor, traces.len(), |i| {
-        let outcome = engine.protect_user(traces[i]);
+    let mut outcomes = map_indexed(executor, n, |i| {
+        let outcome = engine.protect_user(&get(i));
         if !panicked.load(Ordering::Acquire) {
             // The panic is caught *inside* the guard's scope, so the
             // unwind never crosses the lock and the mutex cannot be
@@ -274,6 +359,35 @@ mod tests {
         let unique: BTreeSet<UserId> = seen.iter().copied().collect();
         assert_eq!(seen.len(), test.user_count());
         assert_eq!(unique.len(), test.user_count());
+    }
+
+    #[test]
+    fn store_backed_protection_matches_in_memory() {
+        use mood_trace::StoreConfig;
+
+        let (bg, test) = mini_world();
+        let engine = MoodEngine::paper_default(&bg);
+        let reference = protect_dataset(&engine, &test, 1);
+        // Tiny cache budget: workers constantly decode and evict, yet
+        // the report must stay byte-identical to the in-memory run.
+        let config = StoreConfig::default()
+            .with_seal_records(64)
+            .with_chunk_records(256)
+            .with_cache_budget(16 << 10);
+        let store = mood_trace::TraceStore::from_dataset(&test, config);
+        for kind in ExecutorKind::all() {
+            let executor = kind.build(4);
+            let batch = protect_store_with(&engine, &store, executor.as_ref());
+            assert_eq!(batch, reference, "{kind} store batch diverged");
+            let streamed = protect_store_stream(&engine, &store, executor.as_ref(), |_| {})
+                .expect("sink does not panic");
+            assert_eq!(streamed, reference, "{kind} store stream diverged");
+        }
+        let stats = store.stats();
+        assert!(
+            stats.resident_bytes <= stats.budget_bytes,
+            "cache over budget: {stats:?}"
+        );
     }
 
     #[test]

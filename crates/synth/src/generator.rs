@@ -78,13 +78,29 @@ impl ResidentModel {
 
     /// Generates the dataset for `spec`.
     pub fn generate(&self, spec: &DatasetSpec) -> Dataset {
+        let mut traces = Vec::with_capacity(spec.users);
+        self.for_each_user(spec, &mut |user, records| {
+            traces.push(Trace::new(user, records).expect("non-empty records"));
+        });
+        Dataset::from_traces(traces).expect("user ids unique by construction")
+    }
+
+    /// Simulates every user in id order, handing each non-empty record
+    /// vector (time-sorted) to `sink`. This is the streaming core behind
+    /// [`ResidentModel::generate`] and
+    /// [`DatasetSpec::generate_store`](crate::DatasetSpec::generate_store):
+    /// only one user's records are ever decoded at a time.
+    pub(crate) fn for_each_user(
+        &self,
+        spec: &DatasetSpec,
+        sink: &mut dyn FnMut(UserId, Vec<Record>),
+    ) {
         let n = spec.users;
         let n_distinct = (n as f64 * self.distinct_fraction).round() as usize;
 
         // Anchor assignment: distinct users get their own anchor set;
         // the rest share a set per twin group (with small per-member
         // offsets applied below).
-        let mut traces = Vec::with_capacity(n);
         let mut group_anchor_cache: Vec<Anchors> = Vec::new();
         let mut group_trait_cache: Vec<ResidentTraits> = Vec::new();
 
@@ -117,12 +133,9 @@ impl ResidentModel {
 
             let records = self.simulate_user(spec, user_idx, &anchors, &traits);
             if !records.is_empty() {
-                traces.push(
-                    Trace::new(UserId::new(user_idx as u64), records).expect("non-empty records"),
-                );
+                sink(UserId::new(user_idx as u64), records);
             }
         }
-        Dataset::from_traces(traces).expect("user ids unique by construction")
     }
 
     /// Samples a fresh anchor set: home anywhere in the inner city, work
@@ -329,6 +342,22 @@ impl TaxiModel {
 
     /// Generates the dataset for `spec`.
     pub fn generate(&self, spec: &DatasetSpec) -> Dataset {
+        let mut traces = Vec::with_capacity(spec.users);
+        self.for_each_user(spec, &mut |user, records| {
+            traces.push(Trace::new(user, records).expect("non-empty records"));
+        });
+        Dataset::from_traces(traces).expect("user ids unique by construction")
+    }
+
+    /// Simulates every driver in id order, handing each non-empty record
+    /// vector (time-sorted) to `sink`. Streaming core behind
+    /// [`TaxiModel::generate`] and
+    /// [`DatasetSpec::generate_store`](crate::DatasetSpec::generate_store).
+    pub(crate) fn for_each_user(
+        &self,
+        spec: &DatasetSpec,
+        sink: &mut dyn FnMut(UserId, Vec<Record>),
+    ) {
         let bbox = spec.city.bbox();
         // Shared hotspot pool with zipf-ish weights.
         let mut pool_rng = derive(spec.seed, STREAM_HOTSPOTS, 0);
@@ -346,7 +375,6 @@ impl TaxiModel {
 
         let n = spec.users;
         let n_biased = (n as f64 * self.biased_fraction).round() as usize;
-        let mut traces = Vec::with_capacity(n);
         for user_idx in 0..n {
             let mut persona_rng = derive(spec.seed, STREAM_PERSONA, user_idx as u64);
             let shift_start_h: f64 = normal(&mut persona_rng, 8.0, 2.5).clamp(0.0, 13.0);
@@ -402,12 +430,9 @@ impl TaxiModel {
                 );
             }
             if !records.is_empty() {
-                traces.push(
-                    Trace::new(UserId::new(user_idx as u64), records).expect("non-empty records"),
-                );
+                sink(UserId::new(user_idx as u64), records);
             }
         }
-        Dataset::from_traces(traces).expect("user ids unique by construction")
     }
 
     fn pick_hotspot(

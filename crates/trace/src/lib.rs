@@ -13,7 +13,10 @@
 //!   attack (15-day background knowledge / 15-day attack data);
 //! * [`PseudonymFactory`] — fresh user IDs for fine-grained sub-traces
 //!   (MooD publishes sub-traces under pseudonyms, §3.4);
-//! * CSV and JSON input/output ([`io`]).
+//! * [`TraceStore`](store::TraceStore) — compressed, chunked storage for
+//!   corpora whose decoded form exceeds RAM ([`store`]);
+//! * CSV and JSON input/output ([`io`]), including streaming ingestion
+//!   straight into a store ([`io::stream_csv`]).
 //!
 //! # Examples
 //!
@@ -38,12 +41,14 @@ mod dataset;
 mod error;
 pub mod io;
 mod record;
+pub mod store;
 mod trace;
 mod user;
 
 pub use dataset::Dataset;
 pub use error::TraceError;
 pub use record::{Record, TimeDelta, Timestamp};
+pub use store::{StoreConfig, StoreStats, TraceStore};
 pub use trace::Trace;
 pub use user::{PseudonymFactory, UserId};
 

@@ -1,0 +1,210 @@
+//! LRU cache of decoded traces, bounded by a byte budget.
+//!
+//! The [`TraceStore`](super::TraceStore) keeps every user compressed;
+//! when a pipeline asks for a user's records the decoded [`Trace`] is
+//! parked here so immediate re-reads (e.g. several attacks scoring the
+//! same candidate) don't pay the decode again. The cache never holds
+//! more than `budget_bytes` of decoded records: the least-recently-used
+//! entries are evicted first, and a single trace larger than the whole
+//! budget is handed out *uncached* so the invariant
+//! `resident_bytes <= budget_bytes` holds unconditionally.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::{Record, Trace, UserId};
+
+/// Decoded size of one record as accounted by the cache.
+pub(crate) const RECORD_BYTES: usize = std::mem::size_of::<Record>();
+
+struct CacheEntry {
+    trace: Arc<Trace>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Byte-budgeted LRU map from user to decoded trace. Interior to the
+/// store; all access goes through the store's mutex.
+pub(crate) struct DecodedCache {
+    entries: BTreeMap<UserId, CacheEntry>,
+    budget_bytes: usize,
+    resident_bytes: usize,
+    peak_resident_bytes: usize,
+    clock: u64,
+    hits: u64,
+    decodes: u64,
+    evictions: u64,
+    uncached_decodes: u64,
+}
+
+impl DecodedCache {
+    pub(crate) fn new(budget_bytes: usize) -> DecodedCache {
+        DecodedCache {
+            entries: BTreeMap::new(),
+            budget_bytes,
+            resident_bytes: 0,
+            peak_resident_bytes: 0,
+            clock: 0,
+            hits: 0,
+            decodes: 0,
+            evictions: 0,
+            uncached_decodes: 0,
+        }
+    }
+
+    /// Looks up a decoded trace, refreshing its LRU position. A miss
+    /// is counted as an upcoming decode (the caller decodes outside
+    /// the store lock and then calls [`DecodedCache::insert`]).
+    pub(crate) fn get(&mut self, user: UserId) -> Option<Arc<Trace>> {
+        self.clock += 1;
+        match self.entries.get_mut(&user) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.hits += 1;
+                Some(Arc::clone(&entry.trace))
+            }
+            None => {
+                self.decodes += 1;
+                None
+            }
+        }
+    }
+
+    /// Admits a freshly decoded trace, evicting least-recently-used
+    /// entries until it fits. Traces larger than the whole budget are
+    /// not admitted (counted as `uncached_decodes`); callers still use
+    /// the `Arc` they hold, so correctness is unaffected.
+    pub(crate) fn insert(&mut self, user: UserId, trace: &Arc<Trace>) {
+        let bytes = trace.len() * RECORD_BYTES;
+        if bytes > self.budget_bytes {
+            self.uncached_decodes += 1;
+            return;
+        }
+        // Two workers can decode the same cold user concurrently; the
+        // second insert wins and the first entry's bytes are released.
+        if let Some(old) = self.entries.remove(&user) {
+            self.resident_bytes -= old.bytes;
+        }
+        while self.resident_bytes + bytes > self.budget_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(u, _)| *u)
+                .expect("resident bytes imply at least one entry");
+            let evicted = self.entries.remove(&victim).expect("victim exists");
+            self.resident_bytes -= evicted.bytes;
+            self.evictions += 1;
+        }
+        self.clock += 1;
+        self.entries.insert(
+            user,
+            CacheEntry {
+                trace: Arc::clone(trace),
+                bytes,
+                last_used: self.clock,
+            },
+        );
+        self.resident_bytes += bytes;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+    }
+
+    pub(crate) fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    pub(crate) fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident_bytes
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn decodes(&self) -> u64 {
+        self.decodes
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    pub(crate) fn uncached_decodes(&self) -> u64 {
+        self.uncached_decodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Timestamp;
+    use mood_geo::GeoPoint;
+
+    fn trace_of(user: u64, n: usize) -> Arc<Trace> {
+        let records: Vec<Record> = (0..n)
+            .map(|i| {
+                Record::new(
+                    GeoPoint::new(46.0, 6.0).unwrap(),
+                    Timestamp::from_unix(i as i64),
+                )
+            })
+            .collect();
+        Arc::new(Trace::new(UserId::new(user), records).unwrap())
+    }
+
+    #[test]
+    fn eviction_keeps_resident_under_budget() {
+        // Budget fits two 10-record traces but not three.
+        let mut cache = DecodedCache::new(25 * RECORD_BYTES);
+        for u in 0..5u64 {
+            assert!(cache.get(UserId::new(u)).is_none());
+            cache.insert(UserId::new(u), &trace_of(u, 10));
+            assert!(cache.resident_bytes() <= cache.budget_bytes());
+        }
+        assert_eq!(cache.evictions(), 3);
+        assert_eq!(cache.decodes(), 5);
+        // Most recent survivors: users 3 and 4.
+        assert!(cache.get(UserId::new(4)).is_some());
+        assert!(cache.get(UserId::new(3)).is_some());
+        assert!(cache.get(UserId::new(0)).is_none());
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn lru_refresh_protects_hot_entry() {
+        let mut cache = DecodedCache::new(25 * RECORD_BYTES);
+        cache.get(UserId::new(1));
+        cache.insert(UserId::new(1), &trace_of(1, 10));
+        cache.get(UserId::new(2));
+        cache.insert(UserId::new(2), &trace_of(2, 10));
+        // Touch user 1 so user 2 becomes the LRU victim.
+        assert!(cache.get(UserId::new(1)).is_some());
+        cache.get(UserId::new(3));
+        cache.insert(UserId::new(3), &trace_of(3, 10));
+        assert!(cache.get(UserId::new(1)).is_some());
+        assert!(cache.get(UserId::new(2)).is_none());
+    }
+
+    #[test]
+    fn oversized_trace_is_served_uncached() {
+        let mut cache = DecodedCache::new(5 * RECORD_BYTES);
+        cache.get(UserId::new(9));
+        cache.insert(UserId::new(9), &trace_of(9, 100));
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.uncached_decodes(), 1);
+        assert!(cache.get(UserId::new(9)).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_accounting() {
+        let mut cache = DecodedCache::new(100 * RECORD_BYTES);
+        cache.insert(UserId::new(1), &trace_of(1, 10));
+        cache.insert(UserId::new(1), &trace_of(1, 20));
+        assert_eq!(cache.resident_bytes(), 20 * RECORD_BYTES);
+        assert!(cache.peak_resident_bytes() >= 20 * RECORD_BYTES);
+    }
+}

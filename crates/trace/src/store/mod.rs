@@ -1,0 +1,1023 @@
+//! Compressed, chunked trace storage for larger-than-RAM corpora.
+//!
+//! [`TraceStore`] keeps every user's records as a sequence of
+//! delta-compressed [`TraceChunk`]s instead of a decoded
+//! `Vec<Record>`. Records stream in one at a time ([`TraceStore::append`],
+//! typically fed by [`stream_csv`](crate::io::stream_csv)); per-user
+//! append buffers seal into chunks at a configurable size, cold users'
+//! buffers and small chunks are compacted periodically, and a byte-
+//! budgeted LRU [`DecodedCache`](cache::DecodedCache) keeps only the hot
+//! working set decoded. Dataset-level operations (`split_chronological`,
+//! `most_active_window`, `bounding_box`) run off per-chunk min/max-time
+//! and bounding-box summaries, decoding only chunks that straddle a cut.
+//!
+//! The store is bit-exact: decoding any user reproduces exactly the
+//! trace the in-memory [`Dataset`] path would have built from the same
+//! record sequence, including the stable-sort tie order of
+//! [`Trace::new`]. Protection and attack-evaluation pipelines running
+//! against a store therefore produce byte-identical reports.
+
+mod cache;
+mod chunk;
+
+pub use chunk::TraceChunk;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use mood_geo::BoundingBox;
+
+use crate::{Dataset, Record, TimeDelta, Timestamp, Trace, UserId};
+
+use cache::{DecodedCache, RECORD_BYTES};
+
+/// Tuning knobs of a [`TraceStore`].
+///
+/// The defaults target the paper's corpus scale: small write chunks so
+/// append buffers stay bounded, 4096-record read chunks after
+/// compaction, and a 64 MiB decoded-cache budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Records a user's append buffer holds before sealing into a chunk.
+    pub seal_records: usize,
+    /// Target records per chunk after compaction (and for resorted users).
+    pub chunk_records: usize,
+    /// Byte budget of the decoded-trace LRU cache.
+    pub cache_budget_bytes: usize,
+    /// Appends between cold-user sweeps (seal + compact inactive users).
+    pub compact_after: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            seal_records: 512,
+            chunk_records: 4096,
+            cache_budget_bytes: 64 << 20,
+            compact_after: 8192,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Returns the config with the decoded-cache budget set to `bytes`.
+    pub fn with_cache_budget(mut self, bytes: usize) -> Self {
+        self.cache_budget_bytes = bytes;
+        self
+    }
+
+    /// Returns the config with the post-compaction chunk size set.
+    pub fn with_chunk_records(mut self, records: usize) -> Self {
+        assert!(records > 0, "chunk_records must be positive");
+        self.chunk_records = records;
+        self
+    }
+
+    /// Returns the config with the append-buffer seal size set.
+    pub fn with_seal_records(mut self, records: usize) -> Self {
+        assert!(records > 0, "seal_records must be positive");
+        self.seal_records = records;
+        self
+    }
+}
+
+/// Counters and gauges of a [`TraceStore`], taken atomically under the
+/// cache lock. Exported on `/metrics` by `mood-serve` and printed by
+/// `mood ingest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Number of users in the store.
+    pub users: usize,
+    /// Total records across chunks and append buffers.
+    pub records: usize,
+    /// Number of compressed chunks.
+    pub chunks: usize,
+    /// Total compressed payload bytes across all chunks.
+    pub encoded_bytes: usize,
+    /// Decoded bytes currently held in unsealed append buffers.
+    pub buffer_bytes: usize,
+    /// High-water mark of `buffer_bytes` over the store's lifetime.
+    pub peak_buffer_bytes: usize,
+    /// Decoded bytes currently resident in the LRU cache.
+    pub resident_bytes: usize,
+    /// High-water mark of `resident_bytes`; never exceeds `budget_bytes`.
+    pub peak_resident_bytes: usize,
+    /// Byte budget of the decoded-trace cache.
+    pub budget_bytes: usize,
+    /// Cache lookups served without decoding.
+    pub cache_hits: u64,
+    /// Cache misses (each one decodes a user's chunks).
+    pub decodes: u64,
+    /// Entries evicted from the cache to respect the budget.
+    pub evictions: u64,
+    /// Decodes of traces larger than the whole budget (served uncached).
+    pub uncached_decodes: u64,
+    /// Chunk groups merged by compaction.
+    pub compactions: u64,
+    /// Users whose chunks were globally re-sorted at finish (out-of-order
+    /// input).
+    pub resorts: u64,
+}
+
+/// Per-user state: sealed chunks plus the unsealed append buffer.
+struct UserSlot {
+    chunks: Vec<TraceChunk>,
+    buffer: Vec<Record>,
+    /// Max timestamp across sealed chunks; a later append below this
+    /// marks the user dirty (needs a global resort at finish).
+    max_sealed_time: Option<Timestamp>,
+    dirty: bool,
+    last_append: u64,
+}
+
+impl UserSlot {
+    fn new() -> UserSlot {
+        UserSlot {
+            chunks: Vec::new(),
+            buffer: Vec::new(),
+            max_sealed_time: None,
+            dirty: false,
+            last_append: 0,
+        }
+    }
+
+    fn record_count(&self) -> usize {
+        self.chunks.iter().map(TraceChunk::len).sum::<usize>() + self.buffer.len()
+    }
+}
+
+/// Sorts and seals the slot's append buffer into one chunk, returning
+/// the decoded bytes freed. The stable sort preserves the arrival order
+/// of co-timestamped records, matching [`Trace::new`].
+fn seal_slot(slot: &mut UserSlot) -> usize {
+    debug_assert!(!slot.buffer.is_empty());
+    slot.buffer.sort_by_key(|r| r.time());
+    let chunk = TraceChunk::encode(&slot.buffer);
+    let freed = slot.buffer.len() * RECORD_BYTES;
+    slot.max_sealed_time = Some(match slot.max_sealed_time {
+        Some(m) => m.max(chunk.max_time()),
+        None => chunk.max_time(),
+    });
+    slot.chunks.push(chunk);
+    slot.buffer.clear();
+    freed
+}
+
+/// Greedily merges runs of adjacent chunks whose combined size fits
+/// `chunk_records`, preserving record order exactly. Returns the number
+/// of merges performed.
+fn compact_slot(slot: &mut UserSlot, chunk_records: usize) -> u64 {
+    if slot.chunks.len() < 2 {
+        return 0;
+    }
+    let mut merges = 0u64;
+    let mut out: Vec<TraceChunk> = Vec::with_capacity(slot.chunks.len());
+    let mut group: Vec<TraceChunk> = Vec::new();
+    let mut group_len = 0usize;
+    let mut scratch: Vec<Record> = Vec::new();
+    let flush = |group: &mut Vec<TraceChunk>,
+                 group_len: &mut usize,
+                 out: &mut Vec<TraceChunk>,
+                 scratch: &mut Vec<Record>,
+                 merges: &mut u64| {
+        match group.len() {
+            0 => {}
+            1 => out.push(group.pop().expect("one chunk")),
+            _ => {
+                scratch.clear();
+                for c in group.iter() {
+                    c.decode_into(scratch);
+                }
+                out.push(TraceChunk::encode(scratch));
+                group.clear();
+                *merges += 1;
+            }
+        }
+        *group_len = 0;
+    };
+    for chunk in std::mem::take(&mut slot.chunks) {
+        if group_len + chunk.len() > chunk_records {
+            flush(
+                &mut group,
+                &mut group_len,
+                &mut out,
+                &mut scratch,
+                &mut merges,
+            );
+        }
+        if chunk.len() >= chunk_records {
+            out.push(chunk);
+        } else {
+            group_len += chunk.len();
+            group.push(chunk);
+        }
+    }
+    flush(
+        &mut group,
+        &mut group_len,
+        &mut out,
+        &mut scratch,
+        &mut merges,
+    );
+    slot.chunks = out;
+    merges
+}
+
+/// A compressed, chunked, per-user trace store.
+///
+/// Build one either by streaming ([`TraceStore::append`] +
+/// [`TraceStore::finish`], or [`stream_csv`](crate::io::stream_csv)) or
+/// from an existing in-memory dataset ([`TraceStore::from_dataset`]).
+/// After `finish`, the store is immutable and shareable across threads
+/// (`&TraceStore` is `Sync`); reads decode through the byte-budgeted
+/// LRU cache.
+///
+/// # Examples
+///
+/// ```
+/// use mood_geo::GeoPoint;
+/// use mood_trace::store::{StoreConfig, TraceStore};
+/// use mood_trace::{Record, Timestamp, UserId};
+///
+/// let mut store = TraceStore::new(StoreConfig::default());
+/// for i in 0..100 {
+///     store.append(
+///         UserId::new(i % 4),
+///         Record::new(GeoPoint::new(46.2, 6.1)?, Timestamp::from_unix(i as i64 * 60)),
+///     );
+/// }
+/// store.finish();
+/// assert_eq!(store.user_count(), 4);
+/// assert_eq!(store.trace(UserId::new(0)).len(), 25);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TraceStore {
+    config: StoreConfig,
+    users: BTreeMap<UserId, UserSlot>,
+    cache: Mutex<DecodedCache>,
+    appends: u64,
+    compactions: u64,
+    resorts: u64,
+    buffer_bytes: usize,
+    peak_buffer_bytes: usize,
+    finished: bool,
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("users", &self.users.len())
+            .field("appends", &self.appends)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceStore {
+    /// Creates an empty store accepting appends.
+    pub fn new(config: StoreConfig) -> TraceStore {
+        TraceStore {
+            config,
+            users: BTreeMap::new(),
+            cache: Mutex::new(DecodedCache::new(config.cache_budget_bytes)),
+            appends: 0,
+            compactions: 0,
+            resorts: 0,
+            buffer_bytes: 0,
+            peak_buffer_bytes: 0,
+            finished: false,
+        }
+    }
+
+    /// An already-finished empty store; used by the metadata operations
+    /// to assemble derived stores chunk-by-chunk.
+    fn new_finished(config: StoreConfig) -> TraceStore {
+        let mut s = TraceStore::new(config);
+        s.finished = true;
+        s
+    }
+
+    /// Compresses an in-memory dataset into a store.
+    pub fn from_dataset(dataset: &Dataset, config: StoreConfig) -> TraceStore {
+        let mut store = TraceStore::new(config);
+        for trace in dataset.iter() {
+            for r in trace.records() {
+                store.append(trace.user(), *r);
+            }
+        }
+        store.finish();
+        store
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Appends one record to `user`'s trace. Records may arrive in any
+    /// order; out-of-order users are globally re-sorted at
+    /// [`TraceStore::finish`] so decoded traces always match
+    /// [`Trace::new`] bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after [`TraceStore::finish`].
+    pub fn append(&mut self, user: UserId, record: Record) {
+        assert!(!self.finished, "append after finish()");
+        self.appends += 1;
+        let appends = self.appends;
+        let slot = self.users.entry(user).or_insert_with(UserSlot::new);
+        if slot.max_sealed_time.is_some_and(|m| record.time() < m) {
+            slot.dirty = true;
+        }
+        slot.buffer.push(record);
+        slot.last_append = appends;
+        self.buffer_bytes += RECORD_BYTES;
+        self.peak_buffer_bytes = self.peak_buffer_bytes.max(self.buffer_bytes);
+        if slot.buffer.len() >= self.config.seal_records {
+            self.buffer_bytes -= seal_slot(slot);
+        }
+        if self.config.compact_after > 0 && appends.is_multiple_of(self.config.compact_after) {
+            self.sweep_cold();
+        }
+    }
+
+    /// Seals and compacts users that have not appended for a full
+    /// `compact_after` window, bounding decoded buffer memory for cold
+    /// users without touching hot ones.
+    fn sweep_cold(&mut self) {
+        let threshold = self.appends.saturating_sub(self.config.compact_after);
+        let chunk_records = self.config.chunk_records;
+        let mut freed = 0usize;
+        let mut merges = 0u64;
+        for slot in self.users.values_mut() {
+            if slot.last_append > threshold {
+                continue;
+            }
+            if !slot.buffer.is_empty() {
+                freed += seal_slot(slot);
+                slot.buffer.shrink_to_fit();
+            }
+            merges += compact_slot(slot, chunk_records);
+        }
+        self.buffer_bytes -= freed;
+        self.compactions += merges;
+    }
+
+    /// Seals every buffer, re-sorts users whose records arrived out of
+    /// order, compacts all chunks, and freezes the store for reading.
+    /// Idempotent.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        let chunk_records = self.config.chunk_records;
+        let mut freed = 0usize;
+        let mut merges = 0u64;
+        let mut resorts = 0u64;
+        for slot in self.users.values_mut() {
+            if !slot.buffer.is_empty() {
+                freed += seal_slot(slot);
+            }
+            slot.buffer = Vec::new();
+            if slot.dirty {
+                // Out-of-order arrivals: decode everything, stable-sort
+                // globally (same tie order as Trace::new over the full
+                // arrival sequence), and re-chunk at the read size.
+                let mut records = Vec::with_capacity(slot.record_count());
+                for c in &slot.chunks {
+                    c.decode_into(&mut records);
+                }
+                records.sort_by_key(|r| r.time());
+                slot.chunks = records
+                    .chunks(chunk_records)
+                    .map(TraceChunk::encode)
+                    .collect();
+                slot.dirty = false;
+                resorts += 1;
+            } else {
+                merges += compact_slot(slot, chunk_records);
+            }
+        }
+        self.buffer_bytes -= freed;
+        self.compactions += merges;
+        self.resorts += resorts;
+        self.finished = true;
+    }
+
+    /// `true` once [`TraceStore::finish`] has run.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Number of users in the store.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// `true` when the store holds no users.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Total records across all users.
+    pub fn record_count(&self) -> usize {
+        self.users.values().map(UserSlot::record_count).sum()
+    }
+
+    /// The user IDs present, ascending (same order as
+    /// [`Dataset::user_ids`]).
+    pub fn user_ids(&self) -> Vec<UserId> {
+        self.users.keys().copied().collect()
+    }
+
+    fn slot(&self, user: UserId) -> &UserSlot {
+        assert!(self.finished, "TraceStore reads require finish()");
+        self.users.get(&user).expect("unknown user in TraceStore")
+    }
+
+    fn decode_slot(&self, user: UserId, slot: &UserSlot) -> Trace {
+        let mut records = Vec::with_capacity(slot.record_count());
+        for c in &slot.chunks {
+            c.decode_into(&mut records);
+        }
+        Trace::from_sorted(user, records).expect("finished store chunks are sorted")
+    }
+
+    /// The decoded trace of `user`, served through the LRU cache. The
+    /// decode itself runs outside the cache lock (chunks are immutable
+    /// after finish), so parallel workers do not serialize on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown users or before [`TraceStore::finish`].
+    pub fn trace(&self, user: UserId) -> Arc<Trace> {
+        let slot = self.slot(user);
+        if let Some(hit) = self.cache.lock().expect("store cache lock").get(user) {
+            return hit;
+        }
+        let trace = Arc::new(self.decode_slot(user, slot));
+        self.cache
+            .lock()
+            .expect("store cache lock")
+            .insert(user, &trace);
+        trace
+    }
+
+    /// Like [`TraceStore::trace`] but returns `None` for unknown users.
+    pub fn get(&self, user: UserId) -> Option<Arc<Trace>> {
+        assert!(self.finished, "TraceStore reads require finish()");
+        self.users.contains_key(&user).then(|| self.trace(user))
+    }
+
+    /// Decodes the whole store into an in-memory [`Dataset`],
+    /// bypassing the cache. The result is bit-identical to building the
+    /// dataset from the original record sequence.
+    pub fn to_dataset(&self) -> Dataset {
+        assert!(self.finished, "TraceStore reads require finish()");
+        Dataset::from_traces(
+            self.users
+                .iter()
+                .map(|(user, slot)| self.decode_slot(*user, slot)),
+        )
+        .expect("store users are unique")
+    }
+
+    fn insert_user_chunks(&mut self, user: UserId, chunks: Vec<TraceChunk>) {
+        debug_assert!(!chunks.is_empty());
+        let mut slot = UserSlot::new();
+        slot.max_sealed_time = Some(
+            chunks
+                .iter()
+                .map(TraceChunk::max_time)
+                .max()
+                .expect("non-empty"),
+        );
+        slot.chunks = chunks;
+        self.users.insert(user, slot);
+    }
+
+    /// Chronological per-user split, chunk-routed: semantics identical
+    /// to [`Dataset::split_chronological`], but only chunks straddling
+    /// a user's cut instant are decoded — everything else moves as
+    /// compressed bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_span` is not strictly positive or the store is
+    /// unfinished.
+    pub fn split_chronological(&self, train_span: TimeDelta) -> (TraceStore, TraceStore) {
+        assert!(self.finished, "TraceStore reads require finish()");
+        assert!(train_span.as_secs() > 0, "train_span must be positive");
+        let mut train = TraceStore::new_finished(self.config);
+        let mut test = TraceStore::new_finished(self.config);
+        let mut scratch: Vec<Record> = Vec::new();
+        for (user, slot) in &self.users {
+            let start = slot.chunks[0].min_time();
+            let cut = start.offset(train_span);
+            let mut left: Vec<TraceChunk> = Vec::new();
+            let mut right: Vec<TraceChunk> = Vec::new();
+            for c in &slot.chunks {
+                if c.max_time() < cut {
+                    left.push(c.clone());
+                } else if c.min_time() >= cut {
+                    right.push(c.clone());
+                } else {
+                    scratch.clear();
+                    c.decode_into(&mut scratch);
+                    let split = scratch.partition_point(|r| r.time() < cut);
+                    // min_time < cut <= max_time, so both halves are
+                    // non-empty.
+                    left.push(TraceChunk::encode(&scratch[..split]));
+                    right.push(TraceChunk::encode(&scratch[split..]));
+                }
+            }
+            if !left.is_empty() && !right.is_empty() {
+                train.insert_user_chunks(*user, left);
+                test.insert_user_chunks(*user, right);
+            }
+        }
+        (train, test)
+    }
+
+    /// Restricts the store to its most active `days`-day window,
+    /// chunk-routed: semantics identical to
+    /// [`Dataset::most_active_window`]. Chunks whose records all fall in
+    /// one day contribute to the activity histogram without decoding;
+    /// chunks fully inside the chosen window move compressed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days` is not strictly positive or the store is
+    /// unfinished.
+    pub fn most_active_window(&self, days: i64) -> Option<TraceStore> {
+        assert!(self.finished, "TraceStore reads require finish()");
+        assert!(days > 0, "days must be positive");
+        if self.users.is_empty() {
+            return None;
+        }
+        let start = self
+            .users
+            .values()
+            .map(|s| s.chunks[0].min_time())
+            .min()
+            .expect("non-empty");
+        let end = self
+            .users
+            .values()
+            .map(|s| s.chunks[s.chunks.len() - 1].max_time())
+            .max()
+            .expect("non-empty");
+        let total_days = (end.since(start).as_secs() / 86_400 + 1).max(1);
+        let day_of = |t: Timestamp| (t.since(start).as_secs() / 86_400) as usize;
+        let mut per_day = vec![0usize; total_days as usize];
+        let mut scratch: Vec<Record> = Vec::new();
+        for slot in self.users.values() {
+            for c in &slot.chunks {
+                let d0 = day_of(c.min_time());
+                let d1 = day_of(c.max_time());
+                if d0 == d1 {
+                    per_day[d0] += c.len();
+                } else {
+                    scratch.clear();
+                    c.decode_into(&mut scratch);
+                    for r in &scratch {
+                        per_day[day_of(r.time())] += 1;
+                    }
+                }
+            }
+        }
+        // Identical window selection to Dataset::most_active_window.
+        let w = (days as usize).min(per_day.len());
+        let mut best_start = 0usize;
+        let mut window_sum: usize = per_day[..w].iter().sum();
+        let mut best_sum = window_sum;
+        for s in 1..=(per_day.len() - w) {
+            window_sum = window_sum - per_day[s - 1] + per_day[s + w - 1];
+            if window_sum > best_sum {
+                best_sum = window_sum;
+                best_start = s;
+            }
+        }
+        let win_start = start.offset(TimeDelta::from_days(best_start as i64));
+        let win_end = win_start.offset(TimeDelta::from_days(days));
+        let mut out = TraceStore::new_finished(self.config);
+        for (user, slot) in &self.users {
+            let mut kept: Vec<TraceChunk> = Vec::new();
+            for c in &slot.chunks {
+                if c.min_time() >= win_start && c.max_time() < win_end {
+                    kept.push(c.clone());
+                } else if c.max_time() < win_start || c.min_time() >= win_end {
+                    continue;
+                } else {
+                    scratch.clear();
+                    c.decode_into(&mut scratch);
+                    let lo = scratch.partition_point(|r| r.time() < win_start);
+                    let hi = scratch.partition_point(|r| r.time() < win_end);
+                    if lo < hi {
+                        kept.push(TraceChunk::encode(&scratch[lo..hi]));
+                    }
+                }
+            }
+            if !kept.is_empty() {
+                out.insert_user_chunks(*user, kept);
+            }
+        }
+        Some(out)
+    }
+
+    /// Smallest bounding box containing every record, computed from the
+    /// per-chunk summaries without decoding; `None` when empty. Equal to
+    /// [`Dataset::bounding_box`] on the decoded form.
+    pub fn bounding_box(&self) -> Option<BoundingBox> {
+        assert!(self.finished, "TraceStore reads require finish()");
+        let mut boxes = self
+            .users
+            .values()
+            .flat_map(|s| s.chunks.iter())
+            .map(TraceChunk::bounding_box);
+        let first = boxes.next()?;
+        Some(boxes.fold(first, |acc, b| {
+            BoundingBox::new(
+                acc.min_lat().min(b.min_lat()),
+                acc.max_lat().max(b.max_lat()),
+                acc.min_lng().min(b.min_lng()),
+                acc.max_lng().max(b.max_lng()),
+            )
+            .expect("union of valid boxes is valid")
+        }))
+    }
+
+    /// Earliest record timestamp, from chunk summaries; `None` when
+    /// empty.
+    pub fn start_time(&self) -> Option<Timestamp> {
+        assert!(self.finished, "TraceStore reads require finish()");
+        self.users.values().map(|s| s.chunks[0].min_time()).min()
+    }
+
+    /// Latest record timestamp, from chunk summaries; `None` when empty.
+    pub fn end_time(&self) -> Option<Timestamp> {
+        assert!(self.finished, "TraceStore reads require finish()");
+        self.users
+            .values()
+            .map(|s| s.chunks[s.chunks.len() - 1].max_time())
+            .max()
+    }
+
+    /// Atomic snapshot of the store's counters and gauges.
+    pub fn stats(&self) -> StoreStats {
+        let (chunks, encoded_bytes) = self.users.values().fold((0usize, 0usize), |(n, b), s| {
+            (
+                n + s.chunks.len(),
+                b + s
+                    .chunks
+                    .iter()
+                    .map(TraceChunk::encoded_bytes)
+                    .sum::<usize>(),
+            )
+        });
+        let cache = self.cache.lock().expect("store cache lock");
+        StoreStats {
+            users: self.users.len(),
+            records: self.record_count(),
+            chunks,
+            encoded_bytes,
+            buffer_bytes: self.buffer_bytes,
+            peak_buffer_bytes: self.peak_buffer_bytes,
+            resident_bytes: cache.resident_bytes(),
+            peak_resident_bytes: cache.peak_resident_bytes(),
+            budget_bytes: cache.budget_bytes(),
+            cache_hits: cache.hits(),
+            decodes: cache.decodes(),
+            evictions: cache.evictions(),
+            uncached_decodes: cache.uncached_decodes(),
+            compactions: self.compactions,
+            resorts: self.resorts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_geo::GeoPoint;
+
+    fn rec(lat: f64, lng: f64, t: i64) -> Record {
+        Record::new(GeoPoint::new(lat, lng).unwrap(), Timestamp::from_unix(t))
+    }
+
+    fn small_config() -> StoreConfig {
+        StoreConfig {
+            seal_records: 8,
+            chunk_records: 32,
+            cache_budget_bytes: 1 << 20,
+            compact_after: 64,
+        }
+    }
+
+    /// Interleaved sorted streams for a few users, as a CSV reader
+    /// would produce them.
+    fn feed_interleaved(store: &mut TraceStore, users: u64, per_user: i64) {
+        for t in 0..per_user {
+            for u in 0..users {
+                store.append(
+                    UserId::new(u),
+                    rec(46.0 + u as f64 * 0.01 + t as f64 * 1e-5, 6.0, t * 600),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrips_sorted_streams() {
+        let mut store = TraceStore::new(small_config());
+        feed_interleaved(&mut store, 3, 100);
+        store.finish();
+        assert_eq!(store.user_count(), 3);
+        assert_eq!(store.record_count(), 300);
+        for u in 0..3u64 {
+            let t = store.trace(UserId::new(u));
+            assert_eq!(t.len(), 100);
+            assert_eq!(t.start_time().as_unix(), 0);
+            assert_eq!(t.end_time().as_unix(), 99 * 600);
+        }
+        assert_eq!(store.stats().resorts, 0);
+    }
+
+    #[test]
+    fn matches_trace_new_for_out_of_order_input() {
+        // Shuffled arrival order, with duplicate timestamps to exercise
+        // the stable tie order.
+        let mut arrivals = Vec::new();
+        for i in 0..200i64 {
+            let t = (i * 7919) % 50; // many collisions
+            arrivals.push(rec(46.0 + i as f64 * 1e-4, 6.0, t));
+        }
+        let mut store = TraceStore::new(small_config());
+        for r in &arrivals {
+            store.append(UserId::new(1), *r);
+        }
+        store.finish();
+        assert_eq!(store.stats().resorts, 1);
+        let expected = Trace::new(UserId::new(1), arrivals).unwrap();
+        assert_eq!(*store.trace(UserId::new(1)), expected);
+    }
+
+    #[test]
+    fn from_dataset_roundtrips_exactly() {
+        let traces: Vec<Trace> = (0..5u64)
+            .map(|u| {
+                let records: Vec<Record> = (0..77)
+                    .map(|i| rec(46.0 + u as f64 * 0.02, 6.0 + i as f64 * 1e-4, i * 300))
+                    .collect();
+                Trace::new(UserId::new(u), records).unwrap()
+            })
+            .collect();
+        let ds = Dataset::from_traces(traces).unwrap();
+        let store = TraceStore::from_dataset(&ds, small_config());
+        assert_eq!(store.to_dataset(), ds);
+    }
+
+    #[test]
+    fn compaction_merges_seal_chunks() {
+        let mut store = TraceStore::new(small_config());
+        feed_interleaved(&mut store, 1, 100);
+        store.finish();
+        let stats = store.stats();
+        // 100 records at seal size 8 produce 13 chunks; compaction at
+        // chunk size 32 merges them down.
+        assert!(stats.compactions > 0, "expected merges, got {stats:?}");
+        assert!(
+            stats.chunks <= 4,
+            "expected <= 4 chunks, got {}",
+            stats.chunks
+        );
+        assert_eq!(store.trace(UserId::new(0)).len(), 100);
+    }
+
+    #[test]
+    fn cold_sweep_seals_inactive_buffers() {
+        let mut store = TraceStore::new(StoreConfig {
+            seal_records: 1000, // never seal by size
+            chunk_records: 2000,
+            cache_budget_bytes: 1 << 20,
+            compact_after: 16,
+        });
+        // User 9 appends 5 records, then goes cold while user 1 streams.
+        for i in 0..5 {
+            store.append(UserId::new(9), rec(46.0, 6.0, i));
+        }
+        for i in 0..64 {
+            store.append(UserId::new(1), rec(46.1, 6.1, i));
+        }
+        // The cold sweep sealed user 9's buffer even though it is far
+        // below seal_records.
+        assert!(store.users[&UserId::new(9)].buffer.is_empty());
+        assert_eq!(store.users[&UserId::new(9)].chunks.len(), 1);
+        store.finish();
+        assert_eq!(store.trace(UserId::new(9)).len(), 5);
+        assert_eq!(store.trace(UserId::new(1)).len(), 64);
+    }
+
+    #[test]
+    fn buffer_bytes_accounting_balances() {
+        let mut store = TraceStore::new(small_config());
+        feed_interleaved(&mut store, 4, 50);
+        assert!(store.stats().peak_buffer_bytes > 0);
+        store.finish();
+        assert_eq!(store.stats().buffer_bytes, 0);
+    }
+
+    #[test]
+    fn split_chronological_matches_dataset() {
+        let mut store = TraceStore::new(small_config());
+        feed_interleaved(&mut store, 4, 500); // ~3.5 days at 600 s cadence
+        store.finish();
+        let ds = store.to_dataset();
+        let span = TimeDelta::from_days(2);
+        let (st_train, st_test) = store.split_chronological(span);
+        let (ds_train, ds_test) = ds.split_chronological(span);
+        assert_eq!(st_train.to_dataset(), ds_train);
+        assert_eq!(st_test.to_dataset(), ds_test);
+    }
+
+    #[test]
+    fn split_chronological_drops_train_only_users() {
+        let mut store = TraceStore::new(small_config());
+        for i in 0..50 {
+            store.append(UserId::new(1), rec(46.0, 6.0, i * 3600));
+        }
+        // user 2 has records only inside the first day
+        for i in 0..5 {
+            store.append(UserId::new(2), rec(46.1, 6.1, i * 600));
+        }
+        store.finish();
+        let (train, test) = store.split_chronological(TimeDelta::from_days(1));
+        assert_eq!(train.user_ids(), vec![UserId::new(1)]);
+        assert_eq!(test.user_ids(), vec![UserId::new(1)]);
+        let ds = store.to_dataset();
+        let (dt, dv) = ds.split_chronological(TimeDelta::from_days(1));
+        assert_eq!(train.to_dataset(), dt);
+        assert_eq!(test.to_dataset(), dv);
+    }
+
+    #[test]
+    fn most_active_window_matches_dataset() {
+        let mut store = TraceStore::new(small_config());
+        // Sparse early days, dense later days, two users.
+        for u in 0..2u64 {
+            for d in 0..10i64 {
+                store.append(UserId::new(u), rec(46.0, 6.0, d * 86_400));
+            }
+            for d in 10..13i64 {
+                for h in 0..24i64 {
+                    store.append(UserId::new(u), rec(46.0, 6.0, d * 86_400 + h * 3600));
+                }
+            }
+        }
+        store.finish();
+        let ds = store.to_dataset();
+        let st_win = store.most_active_window(3).unwrap();
+        let ds_win = ds.most_active_window(3).unwrap();
+        assert_eq!(st_win.to_dataset(), ds_win);
+    }
+
+    #[test]
+    fn bounding_box_and_time_bounds_match_dataset() {
+        let mut store = TraceStore::new(small_config());
+        feed_interleaved(&mut store, 3, 200);
+        store.finish();
+        let ds = store.to_dataset();
+        assert_eq!(store.bounding_box(), ds.bounding_box());
+        assert_eq!(store.start_time(), ds.start_time());
+        assert_eq!(store.end_time(), ds.end_time());
+    }
+
+    #[test]
+    fn cache_budget_bounds_resident_bytes() {
+        let mut store = TraceStore::new(StoreConfig {
+            seal_records: 64,
+            chunk_records: 256,
+            // Budget fits ~2 of the 8 decoded traces.
+            cache_budget_bytes: 250 * RECORD_BYTES,
+            compact_after: 1024,
+        });
+        feed_interleaved(&mut store, 8, 100);
+        store.finish();
+        for _ in 0..3 {
+            for u in 0..8u64 {
+                let t = store.trace(UserId::new(u));
+                assert_eq!(t.len(), 100);
+                let stats = store.stats();
+                assert!(
+                    stats.resident_bytes <= stats.budget_bytes,
+                    "resident {} > budget {}",
+                    stats.resident_bytes,
+                    stats.budget_bytes
+                );
+            }
+        }
+        let stats = store.stats();
+        assert!(stats.evictions > 0);
+        assert!(stats.peak_resident_bytes <= stats.budget_bytes);
+    }
+
+    #[test]
+    fn compression_beats_half_of_vec_form() {
+        let mut store = TraceStore::new(StoreConfig::default());
+        // GPS-like jitter around a dwell point, 30 s cadence.
+        for u in 0..4u64 {
+            for i in 0..5000i64 {
+                let jitter = ((i * 2_654_435_761) % 1000) as f64 * 1e-7;
+                store.append(UserId::new(u), rec(46.2 + jitter, 6.14 - jitter, i * 30));
+            }
+        }
+        store.finish();
+        let stats = store.stats();
+        let vec_bytes = stats.records * RECORD_BYTES;
+        assert!(
+            stats.encoded_bytes * 2 <= vec_bytes,
+            "encoded {} vs vec {}",
+            stats.encoded_bytes,
+            vec_bytes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reads require finish")]
+    fn reads_before_finish_panic() {
+        let mut store = TraceStore::new(small_config());
+        store.append(UserId::new(1), rec(46.0, 6.0, 0));
+        let _ = store.trace(UserId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "append after finish")]
+    fn append_after_finish_panics() {
+        let mut store = TraceStore::new(small_config());
+        store.append(UserId::new(1), rec(46.0, 6.0, 0));
+        store.finish();
+        store.append(UserId::new(1), rec(46.0, 6.0, 1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mood_geo::GeoPoint;
+    use proptest::prelude::*;
+
+    fn arb_records() -> impl Strategy<Value = Vec<Record>> {
+        proptest::collection::vec(
+            (
+                -1_000_000i64..1_000_000,
+                -0.4f64..0.4,
+                -0.4f64..0.4,
+                0u64..4,
+            ),
+            1..300,
+        )
+        .prop_map(|tuples| {
+            tuples
+                .into_iter()
+                .map(|(t, dlat, dlng, _)| {
+                    Record::new(
+                        GeoPoint::new(46.0 + dlat, 6.0 + dlng).unwrap(),
+                        Timestamp::from_unix(t),
+                    )
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn chunk_roundtrip_is_bit_exact(records in arb_records()) {
+            let chunk = TraceChunk::encode(&records);
+            let mut back = Vec::new();
+            chunk.decode_into(&mut back);
+            prop_assert_eq!(back.len(), records.len());
+            for (a, b) in records.iter().zip(&back) {
+                prop_assert_eq!(a.time(), b.time());
+                prop_assert_eq!(a.point().lat().to_bits(), b.point().lat().to_bits());
+                prop_assert_eq!(a.point().lng().to_bits(), b.point().lng().to_bits());
+            }
+        }
+
+        #[test]
+        fn store_matches_trace_new(records in arb_records()) {
+            let mut store = TraceStore::new(StoreConfig {
+                seal_records: 7,
+                chunk_records: 19,
+                cache_budget_bytes: 1 << 16,
+                compact_after: 23,
+            });
+            for r in &records {
+                store.append(UserId::new(5), *r);
+            }
+            store.finish();
+            let expected = Trace::new(UserId::new(5), records).unwrap();
+            prop_assert_eq!(&*store.trace(UserId::new(5)), &expected);
+        }
+    }
+}

@@ -46,7 +46,13 @@ impl Trace {
         if records.is_empty() {
             return Err(TraceError::EmptyTrace);
         }
-        records.sort_by_key(|r| r.time());
+        // Fast path: one linear scan skips the O(n log n) sort for
+        // already-sorted input (the common case — public datasets ship
+        // time-ordered and synth generators emit in order).
+        let sorted = records.windows(2).all(|p| p[0].time() <= p[1].time());
+        if !sorted {
+            records.sort_by_key(|r| r.time());
+        }
         Ok(Self { user, records })
     }
 
@@ -336,6 +342,30 @@ mod tests {
         .unwrap();
         let times: Vec<i64> = t.records().iter().map(|r| r.time().as_unix()).collect();
         assert_eq!(times, vec![50, 75, 100]);
+    }
+
+    #[test]
+    fn new_sorted_fast_path_preserves_input() {
+        // Already-sorted input (including co-timestamped runs) must come
+        // out unchanged, whether the scan takes the fast path or not.
+        let records = vec![
+            rec(46.0, 6.0, 50),
+            rec(46.1, 6.0, 75),
+            rec(46.2, 6.0, 75),
+            rec(46.3, 6.0, 100),
+        ];
+        let t = Trace::new(UserId::new(1), records.clone()).unwrap();
+        assert_eq!(t.records(), records.as_slice());
+        // The unsorted path keeps the same stable tie order.
+        let mut shuffled = records.clone();
+        shuffled.swap(0, 3);
+        let sorted = Trace::new(UserId::new(1), shuffled).unwrap();
+        let times: Vec<i64> = sorted
+            .records()
+            .iter()
+            .map(|r| r.time().as_unix())
+            .collect();
+        assert_eq!(times, vec![50, 75, 75, 100]);
     }
 
     #[test]

@@ -269,6 +269,77 @@ fn persistent_pool_does_not_leak_threads() {
 }
 
 #[test]
+fn store_backed_protection_and_evaluation_are_byte_identical() {
+    // The trace-store tentpole's determinism contract: protecting and
+    // attacking straight from the compressed chunked store — decoded
+    // trace by trace through a budget-bounded cache — must stay
+    // byte-for-byte identical to the in-memory dataset path, for every
+    // backend × thread count. Cache hits, evictions and decode order
+    // may all vary with scheduling; none of it may reach the output.
+    use mood_attacks::{ApAttack, Attack, AttackSuite, PitAttack, PoiAttack};
+    use mood_core::{protect_store_stream, protect_store_with};
+    use mood_trace::{StoreConfig, TraceStore};
+
+    let (bg, test) = mini_world();
+    let engine = MoodEngine::paper_default(&bg);
+    let suite = AttackSuite::train(
+        &[
+            &PoiAttack::paper_default() as &dyn Attack,
+            &PitAttack::paper_default(),
+            &ApAttack::paper_default(),
+        ],
+        &bg,
+    );
+    let reference = protect_dataset(&engine, &test, 1);
+    let reference_bytes = fingerprint(&reference);
+    let eval_reference = suite.evaluate_with(&test, ExecutorKind::Sequential.build(1).as_ref());
+
+    // A budget around two decoded traces keeps the cache churning.
+    let max_trace_bytes = test
+        .iter()
+        .map(|t| t.len() * std::mem::size_of::<mood_trace::Record>())
+        .max()
+        .expect("non-empty test split");
+    let config = StoreConfig::default()
+        .with_seal_records(64)
+        .with_chunk_records(256)
+        .with_cache_budget(2 * max_trace_bytes);
+    let store = TraceStore::from_dataset(&test, config);
+
+    for kind in ExecutorKind::all() {
+        for threads in THREAD_COUNTS {
+            let executor = kind.build(threads);
+            let report = protect_store_with(&engine, &store, executor.as_ref());
+            assert_eq!(
+                fingerprint(&report),
+                reference_bytes,
+                "store-backed protect diverged on {kind} x{threads}"
+            );
+            let streamed = protect_store_stream(&engine, &store, executor.as_ref(), |_| {})
+                .expect("sink does not panic");
+            assert_eq!(
+                fingerprint(&streamed),
+                reference_bytes,
+                "store-backed protect_stream diverged on {kind} x{threads}"
+            );
+            let eval = suite.evaluate_store_with(&store, executor.as_ref());
+            assert_eq!(
+                eval, eval_reference,
+                "store-backed evaluation diverged on {kind} x{threads}"
+            );
+        }
+    }
+    let stats = store.stats();
+    assert!(
+        stats.peak_resident_bytes <= stats.budget_bytes,
+        "decoded cache exceeded its budget: {} > {}",
+        stats.peak_resident_bytes,
+        stats.budget_bytes
+    );
+    assert!(stats.evictions > 0, "budget never forced an eviction");
+}
+
+#[test]
 fn streaming_and_batch_agree_under_parallelism() {
     let (bg, test) = mini_world();
     let engine = MoodEngine::paper_default(&bg);
